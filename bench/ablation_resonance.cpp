@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Ablation: resonant frequency sweep across the paper's "most
+ * troubling" 50-200 MHz mid-frequency range.
+ *
+ * For each package resonance, the target impedance is recalibrated,
+ * thresholds are re-solved for sensor delays 0/3/6, and the stressmark
+ * is re-tuned to the new resonant period and run controlled and
+ * uncontrolled on the 200 % package.
+ *
+ * Expected shape: higher resonant frequencies mean fewer CPU cycles
+ * per oscillation, so a fixed sensor delay eats a larger fraction of
+ * the period — the safe operating window shrinks faster with delay,
+ * exactly why the paper stresses that "microarchitectural control can
+ * be built with delay values that are sufficiently small" only in the
+ * 50-200 MHz band.
+ */
+
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "core/threshold_solver.hpp"
+#include "pdn/target_impedance.hpp"
+#include "util/table.hpp"
+#include "workloads/stressmark.hpp"
+
+using namespace vguard;
+using namespace vguard::core;
+
+int
+main()
+{
+    std::printf("== Ablation: package resonant frequency sweep "
+                "(50-200 MHz) ==\n\n");
+
+    const auto machine = referenceMachine();
+    const auto &range = referenceCurrentRange();
+    const uint64_t cycles = cycleBudget(60000);
+
+    Table t({"f0 (MHz)", "period (cyc)", "Ztarget (mOhm)",
+             "window d0 (mV)", "window d3 (mV)", "window d6 (mV)",
+             "uncontrolled minV", "controlled d3 emerg"});
+
+    for (double f0Mhz : {50.0, 100.0, 200.0}) {
+        const double f0 = f0Mhz * 1e6;
+
+        pdn::TargetImpedanceSpec tspec;
+        tspec.f0Hz = f0;
+        tspec.iMin = range.progMin;
+        tspec.iMax = range.progMax;
+        tspec.iTrim = range.gatedMin;
+        const auto target = pdn::calibrateTargetImpedance(tspec);
+
+        const auto pkg = pdn::PackageModel::design(
+            f0, target.zTargetOhms * 2.0);
+        const unsigned period = pkg.resonantPeriodCycles();
+
+        double windows[3];
+        Thresholds thD3;
+        unsigned i = 0;
+        for (unsigned d : {0u, 3u, 6u}) {
+            ThresholdSpec spec;
+            spec.f0Hz = f0;
+            spec.zPeakOhms = target.zTargetOhms * 2.0;
+            spec.iMin = range.progMin;
+            spec.iMax = range.progMax;
+            spec.iGate = range.gatedMin;
+            spec.iPhantom = range.phantomMax;
+            spec.iTrim = range.gatedMin;
+            spec.delayCycles = d;
+            spec.guardBandV = 0.0005;
+            const auto th = solveThresholds(spec);
+            windows[i++] = th.feasibleLow ? th.safeWindowV() * 1e3 : 0.0;
+            if (d == 3)
+                thD3 = th;
+        }
+
+        // Re-tune the stressmark onto this resonance.
+        const auto cal =
+            workloads::StressmarkBuilder::calibrate(period, machine.cpu);
+        const auto prog =
+            workloads::StressmarkBuilder::build(cal.params);
+
+        VoltageSimConfig base;
+        base.cpu = machine.cpu;
+        base.power = machine.power;
+        base.package = pkg.params();
+        VoltageSim baseSim(base, prog);
+        const auto un = baseSim.run(cycles);
+
+        // A real design flow rejects configurations whose threshold
+        // solve is infeasible — deploying one turns the controller
+        // itself into a dI/dt source.
+        std::string ctlCell = "infeasible";
+        if (thD3.feasibleLow && thD3.feasibleHigh) {
+            VoltageSimConfig ctlCfg = base;
+            SensorConfig sc;
+            sc.vLow = thD3.vLow;
+            sc.vHigh = thD3.vHigh;
+            sc.delayCycles = 3;
+            ctlCfg.sensor = sc;
+            ctlCfg.actuator = ActuatorKind::FuDl1Il1;
+            VoltageSim ctlSim(ctlCfg, prog);
+            ctlCell = std::to_string(ctlSim.run(cycles).emergencyCycles());
+        }
+
+        t.addRow({Table::fmt(f0Mhz, 4), std::to_string(period),
+                  Table::fmt(target.zTargetOhms * 1e3, 4),
+                  Table::fmt(windows[0], 4), Table::fmt(windows[1], 4),
+                  Table::fmt(windows[2], 4), Table::fmt(un.minV, 5),
+                  ctlCell});
+    }
+    std::printf("%s\n", t.ascii().c_str());
+    std::printf("expected shape: safe windows shrink faster with "
+                "delay at higher f0 (fewer cycles per oscillation), "
+                "turning infeasible by 100-200 MHz at delays that are "
+                "harmless at 50 MHz — the quantitative version of the "
+                "paper's claim that control delays must be 'sufficiently "
+                "small' for the troubling 50-200 MHz range. (At 200 MHz "
+                "the 12-cycle divide latency also exceeds the half "
+                "period, so no software loop can even sit on the "
+                "resonance.)\n");
+    return 0;
+}

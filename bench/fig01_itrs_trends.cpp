@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Figure 1: relative supply-network impedance trends from the ITRS
+ * roadmap, for cost-performance and high-performance systems.
+ *
+ * Expected shape (paper Section 1):
+ *  - target impedance halves roughly every 3-5 years;
+ *  - the gap between cost-performance and high-performance shrinks.
+ */
+
+#include <cstdio>
+
+#include "pdn/itrs.hpp"
+#include "util/table.hpp"
+
+using namespace vguard;
+using namespace vguard::pdn;
+
+int
+main()
+{
+    std::printf("== Figure 1: relative impedance trends (ITRS) ==\n\n");
+
+    const auto hp = ItrsRoadmap::highPerformance();
+    const auto cp = ItrsRoadmap::costPerformance();
+
+    Table t({"year", "high-perf Z (mOhm)", "rel.", "cost-perf Z (mOhm)",
+             "rel.", "cp/hp ratio"});
+    const auto &he = hp.entries();
+    const auto &ce = cp.entries();
+    for (size_t i = 0; i < he.size(); ++i) {
+        t.addRow({std::to_string(he[i].year),
+                  Table::fmt(he[i].zTargetOhms * 1e3, 4),
+                  Table::fmt(he[i].zRelative, 3),
+                  Table::fmt(ce[i].zTargetOhms * 1e3, 4),
+                  Table::fmt(ce[i].zRelative, 3),
+                  Table::fmt(ce[i].zTargetOhms / he[i].zTargetOhms, 3)});
+    }
+    std::printf("%s\n", t.ascii().c_str());
+
+    std::printf("high-performance impedance halves every %.1f years "
+                "(paper: ~2x every 3-5 years)\n",
+                hp.halvingPeriodYears());
+    std::printf("cost-perf / high-perf gap: %.2fx (%d) -> %.2fx (%d) "
+                "(paper: shrinking)\n",
+                ce.front().zTargetOhms / he.front().zTargetOhms,
+                he.front().year,
+                ce.back().zTargetOhms / he.back().zTargetOhms,
+                he.back().year);
+    return 0;
+}

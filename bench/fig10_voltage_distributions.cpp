@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Figure 10: voltage distributions for the SPEC2000 proxies and the
+ * stressmark at 100 % of target impedance.
+ *
+ * Expected shape: every distribution stays within the ±5 % band (the
+ * 100 % package is safe by definition); stall-bound benchmarks like
+ * ammp are tightly concentrated, while galgel/swim-class benchmarks
+ * and especially the stressmark spread across a wide voltage range.
+ */
+
+#include <cstdio>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+#include "workloads/spec_proxy.hpp"
+#include "workloads/stressmark.hpp"
+
+using namespace vguard;
+using namespace vguard::core;
+
+namespace {
+
+void
+characterise(const char *name, const isa::Program &prog, uint64_t cycles,
+             Table &summary, bool fullHistogram)
+{
+    RunSpec rs;
+    rs.impedanceScale = 1.0;
+    rs.controllerEnabled = false;
+    rs.maxCycles = cycles;
+    const auto res = runWorkload(prog, rs);
+
+    const auto &h = res.voltageHist;
+    summary.addRow({name, Table::fmt(res.minV, 5),
+                    Table::fmt(res.maxV, 5),
+                    Table::fmt((res.maxV - res.minV) * 1e3, 4),
+                    Table::fmt(100.0 * h.fractionBelow(0.9951), 4),
+                    std::to_string(res.emergencyCycles())});
+
+    if (fullHistogram) {
+        std::printf("histogram for %s (V, share):\n", name);
+        // Compress to populated region only.
+        for (size_t i = 0; i < h.bins(); ++i) {
+            if (h.count(i) == 0)
+                continue;
+            const auto bar = static_cast<size_t>(
+                60.0 * h.fraction(i) / 0.5);
+            std::printf("  %.4f %-60s %6.2f%%\n", h.binCenter(i),
+                        std::string(std::min<size_t>(bar, 60), '#')
+                            .c_str(),
+                        100.0 * h.fraction(i));
+        }
+        std::printf("\n");
+    }
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Figure 10: voltage distributions @ 100%% "
+                "impedance ==\n\n");
+    const uint64_t cycles = cycleBudget(60000);
+
+    Table summary({"workload", "min V", "max V", "range (mV)",
+                   "% below 0.995", "emergencies"});
+
+    for (const auto &name : workloads::specBenchmarkNames()) {
+        const bool detailed = name == "ammp" || name == "galgel" ||
+                              name == "swim";
+        characterise(name.c_str(), workloads::buildSpecProxy(name),
+                     cycles, summary, detailed);
+    }
+
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        pdn::PackageModel(referencePackage(1.0)).resonantPeriodCycles(),
+        referenceMachine().cpu);
+    characterise("stressmark",
+                 workloads::StressmarkBuilder::build(cal.params), cycles,
+                 summary, true);
+
+    std::printf("%s\n", summary.ascii().c_str());
+    std::printf("expected shape: zero emergencies everywhere; ammp "
+                "tight, galgel/swim wide, stressmark widest.\n");
+    return 0;
+}

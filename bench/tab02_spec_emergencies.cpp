@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Table 2: voltage emergencies on the SPEC2000 proxies at 100-400 % of
+ * target impedance (uncontrolled).
+ *
+ * Expected shape (paper): no emergencies at 100 % (definitional) or
+ * 200 %; ~1 benchmark breaching at 300 %; several more at 400 % with
+ * tiny emergency frequencies. The stressmark, run alongside, breaches
+ * from 200 % up.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "util/table.hpp"
+#include "workloads/spec_proxy.hpp"
+#include "workloads/stressmark.hpp"
+
+using namespace vguard;
+using namespace vguard::core;
+
+int
+main()
+{
+    std::printf("== Table 2: SPEC2000 voltage emergencies vs "
+                "impedance ==\n\n");
+
+    const std::vector<double> scales{1.0, 2.0, 3.0, 4.0};
+    const uint64_t cycles = cycleBudget(60000);
+
+    struct Row
+    {
+        unsigned benchmarksWithEmergencies = 0;
+        double sumFreq = 0.0;
+        double maxFreq = 0.0;
+    };
+    std::vector<Row> rows(scales.size());
+
+    Table detail({"benchmark", "100%", "200%", "300%", "400%"});
+    for (const auto &name : workloads::specBenchmarkNames()) {
+        std::vector<std::string> cells{name};
+        const auto prog = workloads::buildSpecProxy(name);
+        for (size_t i = 0; i < scales.size(); ++i) {
+            RunSpec rs;
+            rs.impedanceScale = scales[i];
+            rs.controllerEnabled = false;
+            rs.maxCycles = cycles;
+            const auto res = runWorkload(prog, rs);
+            const double freq = res.emergencyFrequency();
+            rows[i].benchmarksWithEmergencies += freq > 0.0;
+            rows[i].sumFreq += freq;
+            rows[i].maxFreq = std::max(rows[i].maxFreq, freq);
+            char cell[48];
+            std::snprintf(cell, sizeof(cell), "%llu (%.4f%%)",
+                          static_cast<unsigned long long>(
+                              res.emergencyCycles()),
+                          100.0 * freq);
+            cells.push_back(cell);
+        }
+        detail.addRow(cells);
+    }
+    std::printf("per-benchmark emergency cycles (of %llu):\n%s\n",
+                static_cast<unsigned long long>(cycles),
+                detail.ascii().c_str());
+
+    // The paper's Table 2 summary rows.
+    Table summary({"", "100%", "200%", "300%", "400%"});
+    {
+        std::vector<std::string> r{"Benchmarks w/ Voltage Emergencies"};
+        for (const auto &row : rows)
+            r.push_back(std::to_string(row.benchmarksWithEmergencies));
+        summary.addRow(r);
+    }
+    {
+        std::vector<std::string> r{"Emergency Frequency (Average)"};
+        for (const auto &row : rows)
+            r.push_back(
+                Table::fmt(100.0 * row.sumFreq /
+                               workloads::specBenchmarkNames().size(),
+                           3) +
+                "%");
+        summary.addRow(r);
+    }
+    {
+        std::vector<std::string> r{"Emergency Frequency (Maximum)"};
+        for (const auto &row : rows)
+            r.push_back(Table::fmt(100.0 * row.maxFreq, 3) + "%");
+        summary.addRow(r);
+    }
+    std::printf("%s\n", summary.ascii().c_str());
+
+    // Contrast: the stressmark breaches already at 200 %.
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        pdn::PackageModel(referencePackage(2.0)).resonantPeriodCycles(),
+        referenceMachine().cpu);
+    std::printf("stressmark for contrast:\n");
+    for (double s : scales) {
+        RunSpec rs;
+        rs.impedanceScale = s;
+        rs.controllerEnabled = false;
+        rs.maxCycles = cycles;
+        const auto res = runWorkload(
+            workloads::StressmarkBuilder::build(cal.params), rs);
+        std::printf("  %3.0f%%: %llu emergency cycles (%.3f%%), min V "
+                    "%.4f\n",
+                    100.0 * s,
+                    static_cast<unsigned long long>(
+                        res.emergencyCycles()),
+                    100.0 * res.emergencyFrequency(), res.minV);
+    }
+    return 0;
+}

@@ -1,0 +1,25 @@
+#include "core/controller.hpp"
+
+namespace vguard::core {
+
+ThresholdController::ThresholdController(const SensorConfig &sensor,
+                                         ActuatorKind kind)
+    : sensor_(sensor), actuator_(kind)
+{
+}
+
+ThresholdController::ThresholdController(const SensorConfig &sensor,
+                                         ActuatorKind gate,
+                                         ActuatorKind phantom)
+    : sensor_(sensor), actuator_(gate, phantom)
+{
+}
+
+void
+ThresholdController::step(double vNow, cpu::OoOCore &core)
+{
+    lastLevel_ = sensor_.observe(vNow);
+    actuator_.apply(lastLevel_, core);
+}
+
+} // namespace vguard::core

@@ -1,0 +1,198 @@
+#include "core/experiments.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <map>
+#include <tuple>
+
+#include "pdn/package_model.hpp"
+#include "power/wattch.hpp"
+#include "workloads/kernels.hpp"
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+Machine
+referenceMachine()
+{
+    return Machine{cpu::CpuConfig{}, power::PowerConfig{}};
+}
+
+const CurrentRange &
+referenceCurrentRange()
+{
+    static const CurrentRange cached = [] {
+        const Machine m = referenceMachine();
+        power::WattchModel model(m.power, m.cpu);
+        CurrentRange r;
+        r.gatedMin = model.minCurrent();
+        r.phantomMax = model.maxCurrent();
+        r.progMin = model.idleCurrent();
+
+        // Measure the program-reachable ceiling with a power virus
+        // (peak over the steady, I-cache-warm half of the run).
+        cpu::OoOCore core(m.cpu, workloads::powerVirus());
+        power::WattchModel pm(m.power, m.cpu);
+        const uint64_t total = 30000;
+        double peak = 0.0;
+        while (core.now() < total && !core.halted()) {
+            const double amps = pm.current(core.cycle());
+            if (core.now() > total / 2)
+                peak = std::max(peak, amps);
+        }
+        r.progMax = peak;
+        if (r.progMax <= r.progMin)
+            panic("referenceCurrentRange: power virus failed (%.1f A)",
+                  r.progMax);
+        informDebug("current range: prog [%.1f, %.1f] A, actuator "
+                    "[%.1f, %.1f] A",
+                    r.progMin, r.progMax, r.gatedMin, r.phantomMax);
+        return r;
+    }();
+    return cached;
+}
+
+const pdn::TargetImpedanceResult &
+referenceTarget()
+{
+    static const pdn::TargetImpedanceResult cached = [] {
+        const Machine m = referenceMachine();
+        const CurrentRange &range = referenceCurrentRange();
+        pdn::TargetImpedanceSpec spec;
+        spec.clockHz = m.cpu.clockHz;
+        spec.vNominal = m.power.vdd;
+        spec.iMin = range.progMin;
+        spec.iMax = range.progMax;
+        spec.iTrim = range.gatedMin;
+        auto res = pdn::calibrateTargetImpedance(spec);
+        informDebug("referenceTarget: zTarget=%.4g mOhm (dip %.4f V, "
+                    "peak %.4f V)",
+                    res.zTargetOhms * 1e3, res.worstDipV,
+                    res.worstPeakV);
+        return res;
+    }();
+    return cached;
+}
+
+pdn::PackageParams
+referencePackage(double impedanceScale)
+{
+    const Machine m = referenceMachine();
+    return pdn::PackageModel::design(
+               50e6, referenceTarget().zTargetOhms * impedanceScale,
+               0.5e-3, 0.25e-3, m.cpu.clockHz, m.power.vdd)
+        .params();
+}
+
+const Thresholds &
+referenceThresholds(double impedanceScale, unsigned delayCycles,
+                    double sensorError)
+{
+    using Key = std::tuple<long, unsigned, long>;
+    static std::map<Key, Thresholds> cache;
+    const Key key{std::lround(impedanceScale * 1000.0), delayCycles,
+                  std::lround(sensorError * 1e6)};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return it->second;
+
+    const Machine m = referenceMachine();
+    const CurrentRange &range = referenceCurrentRange();
+    ThresholdSpec spec;
+    spec.clockHz = m.cpu.clockHz;
+    spec.vNominal = m.power.vdd;
+    spec.zPeakOhms = referenceTarget().zTargetOhms * impedanceScale;
+    spec.iMin = range.progMin;
+    spec.iMax = range.progMax;
+    spec.iGate = range.gatedMin;
+    spec.iPhantom = range.phantomMax;
+    spec.iTrim = range.gatedMin;
+    spec.delayCycles = delayCycles;
+    spec.sensorError = sensorError;
+    spec.guardBandV = 0.0005;
+    auto [pos, inserted] = cache.emplace(key, solveThresholds(spec));
+    (void)inserted;
+    return pos->second;
+}
+
+VoltageSimConfig
+makeSimConfig(const RunSpec &spec)
+{
+    const Machine m = referenceMachine();
+    VoltageSimConfig cfg;
+    cfg.cpu = m.cpu;
+    cfg.power = m.power;
+    cfg.package = referencePackage(spec.impedanceScale);
+    cfg.useConvolution = spec.useConvolution;
+    cfg.actuator = spec.actuator;
+    if (spec.controllerEnabled) {
+        const Thresholds &th = referenceThresholds(
+            spec.impedanceScale, spec.delayCycles, spec.sensorError);
+        SensorConfig sc;
+        sc.vLow = th.vLow;
+        sc.vHigh = th.vHigh;
+        sc.delayCycles = spec.delayCycles;
+        sc.noiseMagnitude = spec.sensorError;
+        sc.seed = spec.noiseSeed;
+        cfg.sensor = sc;
+    }
+    return cfg;
+}
+
+VoltageSimResult
+runWorkload(const isa::Program &program, const RunSpec &spec)
+{
+    VoltageSim sim(makeSimConfig(spec), program);
+    return sim.run(spec.maxCycles, spec.maxInsts);
+}
+
+Comparison
+compareControlled(const isa::Program &program, const RunSpec &spec)
+{
+    Comparison cmp;
+
+    // Probe how much work fits in the budget, then measure both runs
+    // to exactly that instruction count so neither includes a partial
+    // stall tail (which would bias the comparison by up to a full
+    // memory latency).
+    RunSpec probe = spec;
+    probe.controllerEnabled = false;
+    const uint64_t work = runWorkload(program, probe).committed;
+
+    RunSpec base = spec;
+    base.controllerEnabled = false;
+    base.maxInsts = work;
+    base.maxCycles = spec.maxCycles * 8;
+    cmp.baseline = runWorkload(program, base);
+
+    RunSpec ctl = spec;
+    ctl.controllerEnabled = true;
+    ctl.maxInsts = work;
+    // Give the controlled run headroom to finish the same work.
+    ctl.maxCycles = spec.maxCycles * 8;
+    cmp.controlled = runWorkload(program, ctl);
+
+    if (cmp.baseline.cycles > 0 && cmp.baseline.energyJ > 0.0) {
+        cmp.perfLossPct = 100.0 *
+                          (static_cast<double>(cmp.controlled.cycles) -
+                           static_cast<double>(cmp.baseline.cycles)) /
+                          static_cast<double>(cmp.baseline.cycles);
+        cmp.energyIncreasePct =
+            100.0 * (cmp.controlled.energyJ - cmp.baseline.energyJ) /
+            cmp.baseline.energyJ;
+    }
+    return cmp;
+}
+
+uint64_t
+cycleBudget(uint64_t fallback)
+{
+    if (const char *env = std::getenv("VGUARD_CYCLES")) {
+        const unsigned long long v = std::strtoull(env, nullptr, 10);
+        if (v > 0)
+            return v;
+    }
+    return fallback;
+}
+
+} // namespace vguard::core

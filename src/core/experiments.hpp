@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Shared experiment harness used by the benchmark binaries and the
+ * examples: the reference machine (paper Table 1 + power model), the
+ * calibrated target impedance, cached threshold solutions, and
+ * controlled-vs-baseline comparison runs.
+ */
+
+#ifndef VGUARD_CORE_EXPERIMENTS_HPP
+#define VGUARD_CORE_EXPERIMENTS_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "core/threshold_solver.hpp"
+#include "core/voltage_sim.hpp"
+#include "pdn/target_impedance.hpp"
+
+namespace vguard::core {
+
+/** The reference machine of the paper. */
+struct Machine
+{
+    cpu::CpuConfig cpu;
+    power::PowerConfig power;
+};
+
+/** Table-1 CPU + default Wattch model. */
+Machine referenceMachine();
+
+/**
+ * Current envelope of the reference machine. The adversary (program)
+ * range is what running code can demand — the floor is the ungated
+ * idle current and the ceiling is *measured* by simulating a power
+ * virus — while the actuator range extends it in both directions
+ * (full clock gating below, phantom firing above).
+ */
+struct CurrentRange
+{
+    double progMin = 0.0;     ///< ungated idle current [A]
+    double progMax = 0.0;     ///< measured power-virus peak [A]
+    double gatedMin = 0.0;    ///< everything clock-gated [A]
+    double phantomMax = 0.0;  ///< everything phantom-fired [A]
+};
+
+/** Measured once and cached. */
+const CurrentRange &referenceCurrentRange();
+
+/**
+ * Target impedance calibrated for the reference machine's current
+ * range (cached after the first call).
+ */
+const pdn::TargetImpedanceResult &referenceTarget();
+
+/** Reference package at a multiple of the target impedance. */
+pdn::PackageParams referencePackage(double impedanceScale);
+
+/**
+ * Thresholds for the reference machine at a given impedance multiple,
+ * sensor delay and sensor error (cached).
+ */
+const Thresholds &referenceThresholds(double impedanceScale,
+                                      unsigned delayCycles,
+                                      double sensorError = 0.0);
+
+/** One experiment configuration. */
+struct RunSpec
+{
+    double impedanceScale = 2.0;  ///< multiple of target impedance
+    unsigned delayCycles = 1;     ///< sensor/controller delay
+    double sensorError = 0.0;     ///< bounded reading error [V]
+    ActuatorKind actuator = ActuatorKind::Ideal;
+    bool controllerEnabled = true;
+    bool useConvolution = false;
+    uint64_t maxCycles = 200000;
+    uint64_t maxInsts = ~0ull;
+    uint64_t noiseSeed = 0x5e11507;
+};
+
+/** Build the full VoltageSimConfig for a RunSpec. */
+VoltageSimConfig makeSimConfig(const RunSpec &spec);
+
+/** Run a program under a RunSpec. */
+VoltageSimResult runWorkload(const isa::Program &program,
+                             const RunSpec &spec);
+
+/** Controlled run vs uncontrolled baseline over the same work. */
+struct Comparison
+{
+    VoltageSimResult baseline;
+    VoltageSimResult controlled;
+    double perfLossPct = 0.0;
+    double energyIncreasePct = 0.0;
+};
+
+/**
+ * Run @p program uncontrolled for spec.maxCycles, then controlled
+ * until the same instruction count, and compare.
+ */
+Comparison compareControlled(const isa::Program &program,
+                             const RunSpec &spec);
+
+/** Environment-variable override for cycle budgets (VGUARD_CYCLES). */
+uint64_t cycleBudget(uint64_t fallback);
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_EXPERIMENTS_HPP

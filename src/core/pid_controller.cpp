@@ -1,0 +1,71 @@
+#include "core/pid_controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+PidController::PidController(const PidConfig &cfg, unsigned issueWidth)
+    : cfg_(cfg), issueWidth_(issueWidth),
+      delayLine_(cfg.sensorDelay + cfg.computeDelay + 1, cfg.vRef),
+      rng_(cfg.seed), lastLevel_(issueWidth)
+{
+    if (issueWidth_ == 0)
+        fatal("PidController: issue width must be positive");
+    if (cfg_.band <= 0.0)
+        fatal("PidController: band must be positive");
+}
+
+void
+PidController::step(double vNow, cpu::OoOCore &core)
+{
+    // Total loop delay = sensor delay + PID arithmetic latency.
+    delayLine_[head_] = vNow;
+    head_ = head_ + 1 == delayLine_.size() ? 0 : head_ + 1;
+    double reading = delayLine_[head_];
+    if (cfg_.noiseMagnitude > 0.0)
+        reading +=
+            rng_.uniform(-cfg_.noiseMagnitude, cfg_.noiseMagnitude);
+
+    // Positive error = voltage sagging below the setpoint.
+    const double error = (cfg_.vRef - reading) / (cfg_.vRef * cfg_.band);
+    integral_ = std::clamp(integral_ + error, -cfg_.integralClamp,
+                           cfg_.integralClamp);
+    const double derivative = error - prevError_;
+    prevError_ = error;
+
+    const double effort =
+        cfg_.kp * error + cfg_.ki * integral_ + cfg_.kd * derivative;
+
+    if (effort >= 1.0) {
+        // Saturated low: full brake.
+        core.setIssueLimit(0);
+        core.setGates({true, true, true});
+        core.setPhantom({});
+        lastLevel_ = 0;
+        ++gatedCycles_;
+    } else if (effort <= -1.0 && reading > cfg_.vHighGuard) {
+        // Saturated high on a genuine overshoot: phantom firing.
+        core.setIssueLimit(issueWidth_);
+        core.setGates({});
+        core.setPhantom({true, true, true});
+        lastLevel_ = issueWidth_;
+        ++phantomCycles_;
+    } else {
+        // Proportional region: scale the issue width.
+        const double share = std::clamp(1.0 - std::max(0.0, effort),
+                                        0.0, 1.0);
+        const unsigned level = std::max(
+            1u, static_cast<unsigned>(std::lround(share * issueWidth_)));
+        core.setIssueLimit(level);
+        core.setGates({});
+        core.setPhantom({});
+        if (level < issueWidth_)
+            ++throttledCycles_;
+        lastLevel_ = level;
+    }
+}
+
+} // namespace vguard::core

@@ -1,0 +1,51 @@
+#include "core/sensor.hpp"
+
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+ThresholdSensor::ThresholdSensor(const SensorConfig &cfg)
+    : cfg_(cfg), history_(cfg.delayCycles + 1, cfg.vNominal),
+      rng_(cfg.seed)
+{
+    lastReading_ = cfg.vNominal;
+    if (cfg_.vLow >= cfg_.vHigh)
+        fatal("ThresholdSensor: vLow (%g) must be below vHigh (%g)",
+              cfg_.vLow, cfg_.vHigh);
+    if (cfg_.noiseMagnitude < 0.0)
+        fatal("ThresholdSensor: negative noise magnitude");
+}
+
+VoltageLevel
+ThresholdSensor::observe(double vNow)
+{
+    // Deposit the newest reading and pull the oldest (delay cycles
+    // back). With delay 0 the buffer has one slot: write then read.
+    history_[head_] = vNow;
+    head_ = head_ + 1 == history_.size() ? 0 : head_ + 1;
+    double reading = history_[head_ % history_.size()];
+    if (history_.size() == 1)
+        reading = vNow;
+
+    if (cfg_.noiseMagnitude > 0.0)
+        reading += rng_.uniform(-cfg_.noiseMagnitude,
+                                cfg_.noiseMagnitude);
+    lastReading_ = reading;
+
+    if (reading < cfg_.vLow)
+        return VoltageLevel::Low;
+    if (reading > cfg_.vHigh)
+        return VoltageLevel::High;
+    return VoltageLevel::Normal;
+}
+
+void
+ThresholdSensor::reset(double vFill)
+{
+    for (auto &v : history_)
+        v = vFill;
+    head_ = 0;
+    lastReading_ = vFill;
+}
+
+} // namespace vguard::core

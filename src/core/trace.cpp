@@ -1,0 +1,116 @@
+#include "core/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+TraceRecorder::TraceRecorder(size_t capacity) : capacity_(capacity)
+{
+    if (capacity_ == 0)
+        fatal("TraceRecorder: capacity must be positive");
+    samples_.reserve(std::min<size_t>(capacity_, 1 << 16));
+}
+
+void
+TraceRecorder::record(const TraceSample &sample)
+{
+    if (samples_.size() < capacity_) {
+        samples_.push_back(sample);
+    } else {
+        samples_[head_] = sample;
+        head_ = head_ + 1 == capacity_ ? 0 : head_ + 1;
+        wrapped_ = true;
+    }
+}
+
+void
+TraceRecorder::capture(VoltageSim &sim, uint64_t cycles)
+{
+    for (uint64_t i = 0; i < cycles && !sim.halted(); ++i)
+        record(sim.step());
+}
+
+const TraceSample &
+TraceRecorder::at(size_t i) const
+{
+    VGUARD_CHECK(i < samples_.size());
+    if (!wrapped_)
+        return samples_[i];
+    return samples_[(head_ + i) % capacity_];
+}
+
+std::vector<TraceSample>
+TraceRecorder::linearised() const
+{
+    std::vector<TraceSample> out;
+    out.reserve(samples_.size());
+    for (size_t i = 0; i < samples_.size(); ++i)
+        out.push_back(at(i));
+    return out;
+}
+
+TraceRecorder::Summary
+TraceRecorder::summary() const
+{
+    Summary s;
+    if (samples_.empty())
+        return s;
+    s.minV = 1e300;
+    s.maxV = -1e300;
+    double ampSum = 0.0;
+    for (size_t i = 0; i < samples_.size(); ++i) {
+        const TraceSample &t = at(i);
+        s.minV = std::min(s.minV, t.volts);
+        s.maxV = std::max(s.maxV, t.volts);
+        s.peakAmps = std::max(s.peakAmps, t.amps);
+        ampSum += t.amps;
+        s.gatedCycles += t.gated;
+        s.phantomCycles += t.phantom;
+    }
+    s.meanAmps = ampSum / static_cast<double>(samples_.size());
+    return s;
+}
+
+std::string
+TraceRecorder::csv(size_t stride) const
+{
+    if (stride == 0)
+        fatal("TraceRecorder::csv: stride must be positive");
+    std::string out = "cycle,amps,volts,gated,phantom\n";
+    char line[96];
+    for (size_t i = 0; i < samples_.size(); i += stride) {
+        const TraceSample &t = at(i);
+        std::snprintf(line, sizeof(line), "%llu,%.4f,%.6f,%d,%d\n",
+                      static_cast<unsigned long long>(t.cycle), t.amps,
+                      t.volts, t.gated ? 1 : 0, t.phantom ? 1 : 0);
+        out += line;
+    }
+    return out;
+}
+
+void
+TraceRecorder::writeCsv(const std::string &path, size_t stride) const
+{
+    FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        fatal("TraceRecorder: cannot open '%s' for writing",
+              path.c_str());
+    const std::string data = csv(stride);
+    const size_t written = std::fwrite(data.data(), 1, data.size(), f);
+    std::fclose(f);
+    if (written != data.size())
+        fatal("TraceRecorder: short write to '%s'", path.c_str());
+}
+
+void
+TraceRecorder::clear()
+{
+    samples_.clear();
+    head_ = 0;
+    wrapped_ = false;
+}
+
+} // namespace vguard::core

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Trace recording for the coupled simulation: capture per-cycle
+ * (current, voltage, controller state) samples, summarise them, and
+ * export plot-ready CSV — the raw material behind every waveform
+ * figure in the paper.
+ */
+
+#ifndef VGUARD_CORE_TRACE_HPP
+#define VGUARD_CORE_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/voltage_sim.hpp"
+
+namespace vguard::core {
+
+/** Bounded in-memory recorder of TraceSamples. */
+class TraceRecorder
+{
+  public:
+    /** @param capacity Maximum samples retained (ring semantics). */
+    explicit TraceRecorder(size_t capacity = 1 << 20);
+
+    /** Record one sample (oldest dropped beyond capacity). */
+    void record(const TraceSample &sample);
+
+    /** Run @p sim for @p cycles, recording every sample. */
+    void capture(VoltageSim &sim, uint64_t cycles);
+
+    size_t size() const { return samples_.size(); }
+    bool empty() const { return samples_.empty(); }
+    const TraceSample &at(size_t i) const;
+
+    /** Oldest-to-newest view (linearised). */
+    std::vector<TraceSample> linearised() const;
+
+    /** Summary statistics over the retained window. */
+    struct Summary
+    {
+        double minV = 0.0;
+        double maxV = 0.0;
+        double meanAmps = 0.0;
+        double peakAmps = 0.0;
+        uint64_t gatedCycles = 0;
+        uint64_t phantomCycles = 0;
+    };
+    Summary summary() const;
+
+    /**
+     * CSV with header `cycle,amps,volts,gated,phantom`, decimated by
+     * @p stride (every stride-th sample).
+     */
+    std::string csv(size_t stride = 1) const;
+
+    /** Write csv() to @p path; fatal() on I/O failure. */
+    void writeCsv(const std::string &path, size_t stride = 1) const;
+
+    void clear();
+
+  private:
+    size_t capacity_;
+    std::vector<TraceSample> samples_;  ///< ring buffer
+    size_t head_ = 0;                   ///< next write slot
+    bool wrapped_ = false;
+};
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_TRACE_HPP

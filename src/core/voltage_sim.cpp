@@ -1,0 +1,92 @@
+#include "core/voltage_sim.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+VoltageSim::VoltageSim(const VoltageSimConfig &cfg, isa::Program program)
+    : cfg_(cfg), core_(cfg.cpu, std::move(program)),
+      power_(cfg.power, cfg.cpu),
+      pdn_(pdn::PackageModel(cfg.package)),
+      vNominal_(cfg.package.vNominal)
+{
+    // Paper regulator convention: the die sits at nominal voltage when
+    // the processor draws its minimum (fully gated) current.
+    const double iMin = power_.minCurrent();
+    pdn_.trimToCurrent(iMin);
+
+    if (cfg_.useConvolution) {
+        conv_ = std::make_unique<pdn::Convolver>(
+            pdn::impulseResponse(pdn_.model()), pdn_.vddSetPoint(), iMin);
+    }
+    if (cfg_.sensor)
+        controller_.emplace(*cfg_.sensor, cfg_.actuator,
+                            cfg_.phantomActuator.value_or(cfg_.actuator));
+}
+
+TraceSample
+VoltageSim::step()
+{
+    const auto &av = core_.cycle();
+    const double amps = power_.current(av);
+    const double volts =
+        cfg_.useConvolution ? conv_->step(amps) : pdn_.step(amps);
+
+    if (controller_)
+        controller_->step(volts, core_);
+
+    TraceSample s;
+    s.cycle = cycle_++;
+    s.amps = amps;
+    s.volts = volts;
+    s.gated = av.gates.any();
+    s.phantom = av.phantom.any();
+    return s;
+}
+
+VoltageSimResult
+VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
+{
+    VoltageSimResult res;
+    res.voltageHist = Histogram(cfg_.histLo, cfg_.histHi, cfg_.histBins);
+    res.minV = vNominal_;
+    res.maxV = vNominal_;
+
+    const double vLoBound = vNominal_ * (1.0 - cfg_.band);
+    const double vHiBound = vNominal_ * (1.0 + cfg_.band);
+    const double dt = 1.0 / cfg_.cpu.clockHz;
+
+    double energy = 0.0;
+    uint64_t cycles = 0;
+    while (cycles < maxCycles && !core_.halted() &&
+           core_.stats().committed < maxInsts) {
+        const TraceSample s = step();
+        ++cycles;
+        energy += s.amps * cfg_.power.vdd * dt;
+        res.minV = std::min(res.minV, s.volts);
+        res.maxV = std::max(res.maxV, s.volts);
+        res.voltageHist.add(s.volts);
+        if (s.volts < vLoBound)
+            ++res.lowEmergencyCycles;
+        else if (s.volts > vHiBound)
+            ++res.highEmergencyCycles;
+    }
+
+    res.cycles = cycles;
+    res.committed = core_.stats().committed;
+    res.ipc = cycles ? static_cast<double>(res.committed) / cycles : 0.0;
+    res.energyJ = energy;
+    res.avgPowerW = cycles ? energy / (cycles * dt) : 0.0;
+    if (controller_) {
+        const auto &act = controller_->actuator();
+        res.gatedCycles = act.gatedCycles();
+        res.phantomCycles = act.phantomCycles();
+        res.lowTriggers = act.lowTriggers();
+        res.highTriggers = act.highTriggers();
+    }
+    return res;
+}
+
+} // namespace vguard::core

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The coupled voltage simulation (paper Fig. 7): cycle core → Wattch
+ * power → current → PDN → die voltage → threshold controller → gating,
+ * closed every CPU cycle.
+ *
+ * Supports both voltage back-ends — direct state-space stepping and
+ * the paper's convolution-with-impulse-response pipeline — which are
+ * verified equivalent in tests.
+ */
+
+#ifndef VGUARD_CORE_VOLTAGE_SIM_HPP
+#define VGUARD_CORE_VOLTAGE_SIM_HPP
+
+#include <memory>
+#include <optional>
+
+#include "core/controller.hpp"
+#include "cpu/core.hpp"
+#include "pdn/impulse.hpp"
+#include "pdn/pdn_sim.hpp"
+#include "power/wattch.hpp"
+#include "util/stats.hpp"
+
+namespace vguard::core {
+
+/** Configuration of one coupled simulation. */
+struct VoltageSimConfig
+{
+    cpu::CpuConfig cpu;
+    power::PowerConfig power;
+    pdn::PackageParams package;  ///< from PackageModel::design(...)
+    double band = 0.05;          ///< emergency band (fraction of vNom)
+
+    /** Controller; disengaged when unset (characterisation runs). */
+    std::optional<SensorConfig> sensor;
+    ActuatorKind actuator = ActuatorKind::Ideal;
+    /** Distinct phantom-fire unit set (defaults to `actuator`). */
+    std::optional<ActuatorKind> phantomActuator;
+
+    /** Use the convolution back-end instead of state space. */
+    bool useConvolution = false;
+
+    /** Voltage histogram range/bins (Fig. 10). */
+    double histLo = 0.90;
+    double histHi = 1.10;
+    size_t histBins = 80;
+};
+
+/** Results of a run. */
+struct VoltageSimResult
+{
+    uint64_t cycles = 0;
+    uint64_t committed = 0;
+    double ipc = 0.0;
+    double energyJ = 0.0;
+    double avgPowerW = 0.0;
+    double minV = 0.0;
+    double maxV = 0.0;
+    uint64_t lowEmergencyCycles = 0;
+    uint64_t highEmergencyCycles = 0;
+    uint64_t gatedCycles = 0;
+    uint64_t phantomCycles = 0;
+    uint64_t lowTriggers = 0;
+    uint64_t highTriggers = 0;
+    Histogram voltageHist{0.90, 1.10, 80};
+
+    uint64_t
+    emergencyCycles() const
+    {
+        return lowEmergencyCycles + highEmergencyCycles;
+    }
+
+    double
+    emergencyFrequency() const
+    {
+        return cycles ? static_cast<double>(emergencyCycles()) / cycles
+                      : 0.0;
+    }
+};
+
+/** One cycle of trace output (for Fig. 11-style plots). */
+struct TraceSample
+{
+    uint64_t cycle = 0;
+    double amps = 0.0;
+    double volts = 0.0;
+    bool gated = false;
+    bool phantom = false;
+};
+
+/** The coupled simulator. */
+class VoltageSim
+{
+  public:
+    VoltageSim(const VoltageSimConfig &cfg, isa::Program program);
+
+    /**
+     * Advance one cycle; returns the sample (current, voltage,
+     * controller state).
+     */
+    TraceSample step();
+
+    /**
+     * Run until @p maxCycles cycles or @p maxInsts committed
+     * instructions (whichever first) or program halt.
+     */
+    VoltageSimResult run(uint64_t maxCycles,
+                         uint64_t maxInsts = ~0ull);
+
+    bool halted() const { return core_.halted(); }
+    const cpu::OoOCore &core() const { return core_; }
+    /** Mutable core access for external controllers (e.g. PID). */
+    cpu::OoOCore &core() { return core_; }
+    const power::WattchModel &powerModel() const { return power_; }
+    const VoltageSimConfig &config() const { return cfg_; }
+
+  private:
+    VoltageSimConfig cfg_;
+    cpu::OoOCore core_;
+    power::WattchModel power_;
+    pdn::PdnSim pdn_;
+    std::unique_ptr<pdn::Convolver> conv_;
+    std::optional<ThresholdController> controller_;
+    uint64_t cycle_ = 0;
+    double vNominal_;
+};
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_VOLTAGE_SIM_HPP

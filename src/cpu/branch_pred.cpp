@@ -1,0 +1,157 @@
+#include "cpu/branch_pred.hpp"
+
+#include "util/logging.hpp"
+
+namespace vguard::cpu {
+
+namespace {
+
+bool
+isPow2(unsigned v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+// Knuth multiplicative hash spreads program indices across tables the
+// way byte PCs would in a real machine.
+uint32_t
+hashPc(uint32_t pc)
+{
+    return pc * 2654435761u;
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(const CpuConfig &cfg)
+    : bimodal_(cfg.bimodalEntries, 1),  // weakly not-taken
+      gshare_(cfg.gshareEntries, 1), chooser_(cfg.chooserEntries, 1),
+      btb_(cfg.btbEntries), ras_(cfg.rasEntries, 0),
+      historyMask_((1u << cfg.historyBits) - 1)
+{
+    if (!isPow2(cfg.bimodalEntries) || !isPow2(cfg.gshareEntries) ||
+        !isPow2(cfg.chooserEntries) || !isPow2(cfg.btbEntries))
+        fatal("BranchPredictor: table sizes must be powers of two");
+    if (cfg.rasEntries == 0)
+        fatal("BranchPredictor: RAS must have at least one entry");
+}
+
+void
+BranchPredictor::bump(uint8_t &ctr, bool up)
+{
+    if (up) {
+        if (ctr < 3)
+            ++ctr;
+    } else if (ctr > 0) {
+        --ctr;
+    }
+}
+
+uint32_t
+BranchPredictor::bimodalIndex(uint32_t pc) const
+{
+    return hashPc(pc) & (static_cast<uint32_t>(bimodal_.size()) - 1);
+}
+
+uint32_t
+BranchPredictor::gshareIndex(uint32_t pc) const
+{
+    return (hashPc(pc) ^ history_) &
+           (static_cast<uint32_t>(gshare_.size()) - 1);
+}
+
+uint32_t
+BranchPredictor::chooserIndex(uint32_t pc) const
+{
+    return hashPc(pc) & (static_cast<uint32_t>(chooser_.size()) - 1);
+}
+
+Prediction
+BranchPredictor::predictAndUpdate(uint32_t pc, const isa::StaticInst &si,
+                                  bool taken, uint32_t actualTarget)
+{
+    using isa::Opcode;
+
+    ++stats_.lookups;
+    Prediction pred;
+
+    if (si.op == Opcode::RET) {
+        // Predict via the return-address stack.
+        if (rasCount_ > 0) {
+            const uint32_t top =
+                (rasTop_ + static_cast<uint32_t>(ras_.size()) - 1) %
+                static_cast<uint32_t>(ras_.size());
+            pred.taken = true;
+            pred.targetKnown = true;
+            pred.target = ras_[top];
+            rasTop_ = top;
+            --rasCount_;
+        } else {
+            pred.taken = true;
+            pred.targetKnown = false;
+        }
+        if (!pred.targetKnown || pred.target != actualTarget)
+            ++stats_.rasMispredicts;
+        return pred;
+    }
+
+    if (si.op == Opcode::CALL) {
+        // Push the return index; direct calls resolve at decode.
+        ras_[rasTop_] = pc + 1;
+        rasTop_ = (rasTop_ + 1) % static_cast<uint32_t>(ras_.size());
+        if (rasCount_ < ras_.size())
+            ++rasCount_;
+        pred.taken = true;
+        pred.targetKnown = true;
+        pred.target = actualTarget;
+        return pred;
+    }
+
+    if (si.op == Opcode::BR) {
+        // Unconditional direct: decode-time redirect, always right.
+        pred.taken = true;
+        pred.targetKnown = true;
+        pred.target = actualTarget;
+        return pred;
+    }
+
+    // Conditional branch: combined predictor.
+    ++stats_.condBranches;
+    const uint32_t bi = bimodalIndex(pc);
+    const uint32_t gi = gshareIndex(pc);
+    const uint32_t ci = chooserIndex(pc);
+    const bool bimodalTaken = bimodal_[bi] >= 2;
+    const bool gshareTaken = gshare_[gi] >= 2;
+    const bool useGshare = chooser_[ci] >= 2;
+    pred.taken = useGshare ? gshareTaken : bimodalTaken;
+
+    // BTB lookup for the target.
+    BtbEntry &btbe =
+        btb_[hashPc(pc) & (static_cast<uint32_t>(btb_.size()) - 1)];
+    if (btbe.valid && btbe.pc == pc) {
+        pred.targetKnown = true;
+        pred.target = btbe.target;
+    }
+
+    // --- update with the true outcome ------------------------------
+    if (pred.taken != taken)
+        ++stats_.condMispredicts;
+    if (taken && (!pred.targetKnown || pred.target != actualTarget))
+        ++stats_.btbMisses;
+
+    // Chooser trains toward the component that was right (no change
+    // when they agree).
+    if (bimodalTaken != gshareTaken)
+        bump(chooser_[ci], gshareTaken == taken);
+    bump(bimodal_[bi], taken);
+    bump(gshare_[gi], taken);
+    history_ = ((history_ << 1) | (taken ? 1u : 0u)) & historyMask_;
+
+    if (taken) {
+        btbe.valid = true;
+        btbe.pc = pc;
+        btbe.target = actualTarget;
+    }
+    return pred;
+}
+
+} // namespace vguard::cpu

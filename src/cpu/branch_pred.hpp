@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Branch prediction per Table 1: a combining predictor (64 Kb chooser
+ * selecting between a 64 Kb bimodal and a 64 Kb gshare), a 1 K-entry
+ * BTB and a 64-entry return-address stack.
+ *
+ * The core fetches down the correct path only (stall-on-mispredict, as
+ * in the paper's SimpleScalar setup), so predictor state is updated
+ * with true outcomes at fetch time; misprediction *timing* is modeled
+ * by the core with the 10-cycle refill penalty.
+ */
+
+#ifndef VGUARD_CPU_BRANCH_PRED_HPP
+#define VGUARD_CPU_BRANCH_PRED_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "cpu/config.hpp"
+#include "isa/program.hpp"
+
+namespace vguard::cpu {
+
+/** Predictor output for one control instruction. */
+struct Prediction
+{
+    bool taken = false;       ///< direction prediction
+    bool targetKnown = false; ///< BTB (or RAS) supplied a target
+    uint32_t target = 0;      ///< predicted target (program index)
+};
+
+/** Predictor statistics. */
+struct BpredStats
+{
+    uint64_t lookups = 0;
+    uint64_t condBranches = 0;
+    uint64_t condMispredicts = 0;
+    uint64_t btbMisses = 0;        ///< taken control with unknown target
+    uint64_t rasMispredicts = 0;
+
+    double
+    condMispredictRate() const
+    {
+        return condBranches
+                   ? static_cast<double>(condMispredicts) / condBranches
+                   : 0.0;
+    }
+};
+
+/** Combined bimodal + gshare predictor with BTB and RAS. */
+class BranchPredictor
+{
+  public:
+    explicit BranchPredictor(const CpuConfig &cfg);
+
+    /**
+     * Predict the control instruction at program index @p pc, then
+     * update all structures with the true outcome (@p taken,
+     * @p actualTarget). Returns what was predicted *before* the update
+     * so the core can detect mispredictions.
+     */
+    Prediction predictAndUpdate(uint32_t pc, const isa::StaticInst &si,
+                                bool taken, uint32_t actualTarget);
+
+    const BpredStats &stats() const { return stats_; }
+
+  private:
+    static void bump(uint8_t &ctr, bool up);
+
+    uint32_t bimodalIndex(uint32_t pc) const;
+    uint32_t gshareIndex(uint32_t pc) const;
+    uint32_t chooserIndex(uint32_t pc) const;
+
+    std::vector<uint8_t> bimodal_;   ///< 2-bit counters
+    std::vector<uint8_t> gshare_;    ///< 2-bit counters
+    std::vector<uint8_t> chooser_;   ///< 2-bit: >=2 selects gshare
+
+    struct BtbEntry
+    {
+        uint32_t pc = 0;
+        uint32_t target = 0;
+        bool valid = false;
+    };
+    std::vector<BtbEntry> btb_;
+
+    std::vector<uint32_t> ras_;
+    uint32_t rasTop_ = 0;   ///< index of next push slot
+    uint32_t rasCount_ = 0;
+
+    uint32_t history_ = 0;
+    uint32_t historyMask_;
+    BpredStats stats_;
+};
+
+} // namespace vguard::cpu
+
+#endif // VGUARD_CPU_BRANCH_PRED_HPP

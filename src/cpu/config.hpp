@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Processor configuration — defaults reproduce Table 1 of the paper:
+ *
+ *   3.0 GHz clock, 256-entry RUU / 128-entry LSQ, 8-wide fetch/decode,
+ *   8 IntALU + 2 IntMult/IntDiv + 4 FPALU + 2 FPMult/FPDiv + 4 memory
+ *   ports, 10-cycle branch penalty, combined 64 Kb bimodal/gshare
+ *   predictor with 64 Kb chooser, 1 K-entry BTB, 64-entry RAS,
+ *   64 KB 2-way L1 caches, 2 MB 4-way 16-cycle L2, 300-cycle memory.
+ */
+
+#ifndef VGUARD_CPU_CONFIG_HPP
+#define VGUARD_CPU_CONFIG_HPP
+
+#include <cstdint>
+
+namespace vguard::cpu {
+
+/** Geometry and latency of one cache level. */
+struct CacheConfig
+{
+    uint32_t sizeBytes = 64 * 1024;
+    uint32_t ways = 2;
+    uint32_t lineBytes = 64;
+    unsigned latency = 1;   ///< hit latency in cycles
+
+    uint32_t sets() const { return sizeBytes / (ways * lineBytes); }
+};
+
+/** Full processor configuration (defaults = paper Table 1). */
+struct CpuConfig
+{
+    // Clock (used by the coupled voltage simulation).
+    double clockHz = 3e9;
+
+    // Widths.
+    unsigned fetchWidth = 8;
+    unsigned decodeWidth = 8;
+    unsigned issueWidth = 8;
+    unsigned commitWidth = 8;
+
+    // Window.
+    unsigned ruuSize = 256;
+    unsigned lsqSize = 128;
+    unsigned ifqSize = 32;
+
+    // Front end: extra super-pipelined fetch/decode stages (the paper
+    // added these so mispredict refill costs are modeled) plus the
+    // refill penalty itself.
+    unsigned frontEndDepth = 3;
+    unsigned branchPenalty = 10;
+
+    // Functional units.
+    unsigned numIntAlu = 8;
+    unsigned numIntMultDiv = 2;
+    unsigned numFpAlu = 4;
+    unsigned numFpMultDiv = 2;
+    unsigned numMemPorts = 4;
+
+    // Operation latency / issue-repeat interval (SimpleScalar-style).
+    unsigned intAluLat = 1;
+    unsigned intMultLat = 3, intMultRepeat = 1;
+    unsigned intDivLat = 20, intDivRepeat = 19;
+    unsigned fpAddLat = 2, fpAddRepeat = 1;
+    unsigned fpMultLat = 4, fpMultRepeat = 1;
+    unsigned fpDivLat = 12, fpDivRepeat = 12;
+
+    // Memory hierarchy.
+    CacheConfig il1{64 * 1024, 2, 64, 1};
+    CacheConfig dl1{64 * 1024, 2, 64, 1};
+    CacheConfig l2{2 * 1024 * 1024, 4, 64, 16};
+    unsigned memLatency = 300;
+
+    // Branch prediction: 32 K 2-bit entries each = 64 Kb tables.
+    unsigned bimodalEntries = 32768;
+    unsigned gshareEntries = 32768;
+    unsigned chooserEntries = 32768;
+    unsigned historyBits = 15;
+    unsigned btbEntries = 1024;
+    unsigned rasEntries = 64;
+
+    // Synthetic byte address of instruction index 0 (4 bytes/inst).
+    uint64_t codeBase = 0x400000;
+};
+
+} // namespace vguard::cpu
+
+#endif // VGUARD_CPU_CONFIG_HPP

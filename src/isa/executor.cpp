@@ -1,0 +1,225 @@
+#include "isa/executor.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace vguard::isa {
+
+Executor::Executor(Program program) : program_(std::move(program))
+{
+    if (program_.empty())
+        fatal("Executor: empty program");
+}
+
+void
+Executor::reset()
+{
+    regs_.reset();
+    mem_.clear();
+    pc_ = 0;
+    count_ = 0;
+    halted_ = false;
+}
+
+float
+Executor::activityOf(uint64_t a, uint64_t b, uint64_t result) const
+{
+    // Heuristic switching factor: operand disagreement toggles the
+    // datapath, dense results toggle the result bus. Normalised to
+    // [0, 1]; the stressmark maximises this by choosing alternating
+    // bit patterns (paper Section 3.2: "operand values are chosen to
+    // produce the maximum possible transition activity").
+    const int toggles = std::popcount(a ^ b);
+    const int density = std::popcount(result);
+    return static_cast<float>(0.7 * toggles / 64.0 +
+                              0.3 * density / 64.0);
+}
+
+ExecInfo
+Executor::step()
+{
+    ExecInfo info;
+    if (halted_ || pc_ >= program_.size()) {
+        halted_ = true;
+        info.halted = true;
+        info.pc = pc_;
+        info.nextPc = pc_;
+        return info;
+    }
+
+    const StaticInst &si = program_.at(pc_);
+    info.pc = pc_;
+    info.si = &si;
+    uint32_t next = pc_ + 1;
+
+    const uint64_t a = regs_.read(si.rs1);
+    const uint64_t b = regs_.read(si.rs2);
+    uint64_t result = 0;
+    bool wroteResult = false;
+
+    switch (si.op) {
+      case Opcode::NOP:
+        break;
+      case Opcode::HALT:
+        halted_ = true;
+        info.halted = true;
+        break;
+
+      case Opcode::ADDQ:
+        result = a + b;
+        wroteResult = true;
+        break;
+      case Opcode::SUBQ:
+        result = a - b;
+        wroteResult = true;
+        break;
+      case Opcode::AND:
+        result = a & b;
+        wroteResult = true;
+        break;
+      case Opcode::BIS:
+        result = a | b;
+        wroteResult = true;
+        break;
+      case Opcode::XOR:
+        result = a ^ b;
+        wroteResult = true;
+        break;
+      case Opcode::SLL:
+        result = a << (b & 63);
+        wroteResult = true;
+        break;
+      case Opcode::SRL:
+        result = a >> (b & 63);
+        wroteResult = true;
+        break;
+      case Opcode::CMPEQ:
+        result = a == b ? 1 : 0;
+        wroteResult = true;
+        break;
+      case Opcode::CMPLT:
+        result = static_cast<int64_t>(a) < static_cast<int64_t>(b) ? 1 : 0;
+        wroteResult = true;
+        break;
+      case Opcode::CMOVNE:
+        result = a != 0 ? b : regs_.read(si.rd);
+        wroteResult = true;
+        break;
+      case Opcode::LDIQ:
+        result = static_cast<uint64_t>(si.imm);
+        wroteResult = true;
+        break;
+
+      case Opcode::MULQ:
+        result = a * b;
+        wroteResult = true;
+        break;
+      case Opcode::DIVQ:
+        // Division by zero yields zero (documented VRISC behaviour;
+        // there are no architectural exceptions in this model).
+        result = b == 0 ? 0 : a / b;
+        wroteResult = true;
+        break;
+
+      case Opcode::ADDT:
+        result = std::bit_cast<uint64_t>(std::bit_cast<double>(a) +
+                                         std::bit_cast<double>(b));
+        wroteResult = true;
+        break;
+      case Opcode::SUBT:
+        result = std::bit_cast<uint64_t>(std::bit_cast<double>(a) -
+                                         std::bit_cast<double>(b));
+        wroteResult = true;
+        break;
+      case Opcode::MULT:
+        result = std::bit_cast<uint64_t>(std::bit_cast<double>(a) *
+                                         std::bit_cast<double>(b));
+        wroteResult = true;
+        break;
+      case Opcode::DIVT:
+        result = std::bit_cast<uint64_t>(std::bit_cast<double>(a) /
+                                         std::bit_cast<double>(b));
+        wroteResult = true;
+        break;
+      case Opcode::CVTQT:
+        result = std::bit_cast<uint64_t>(
+            static_cast<double>(static_cast<int64_t>(a)));
+        wroteResult = true;
+        break;
+      case Opcode::LDIT:
+        result = static_cast<uint64_t>(si.imm);
+        wroteResult = true;
+        break;
+
+      case Opcode::LDQ:
+      case Opcode::LDT:
+        info.effAddr = a + static_cast<uint64_t>(si.imm);
+        result = mem_.read(info.effAddr);
+        wroteResult = true;
+        break;
+      case Opcode::STQ:
+      case Opcode::STT:
+        info.effAddr = a + static_cast<uint64_t>(si.imm);
+        mem_.write(info.effAddr, b);
+        result = b;
+        break;
+
+      case Opcode::BR:
+        info.taken = true;
+        next = static_cast<uint32_t>(si.target);
+        break;
+      case Opcode::BEQ:
+        info.taken = a == 0;
+        if (info.taken)
+            next = static_cast<uint32_t>(si.target);
+        break;
+      case Opcode::BNE:
+        info.taken = a != 0;
+        if (info.taken)
+            next = static_cast<uint32_t>(si.target);
+        break;
+      case Opcode::BLT:
+        info.taken = static_cast<int64_t>(a) < 0;
+        if (info.taken)
+            next = static_cast<uint32_t>(si.target);
+        break;
+      case Opcode::BGE:
+        info.taken = static_cast<int64_t>(a) >= 0;
+        if (info.taken)
+            next = static_cast<uint32_t>(si.target);
+        break;
+      case Opcode::CALL:
+        info.taken = true;
+        result = pc_ + 1;
+        wroteResult = true; // link register
+        next = static_cast<uint32_t>(si.target);
+        break;
+      case Opcode::RET:
+        info.taken = true;
+        next = static_cast<uint32_t>(a);
+        break;
+
+      default:
+        panic("Executor: unimplemented opcode %d",
+              static_cast<int>(si.op));
+    }
+
+    if (wroteResult)
+        regs_.write(si.rd, result);
+
+    info.activity = activityOf(a, b, result);
+    info.nextPc = next;
+
+    if (!info.halted && next >= program_.size()) {
+        // Running off the end halts the machine (like falling through
+        // the last instruction without a HALT).
+        halted_ = true;
+        info.halted = true;
+    }
+    pc_ = next;
+    ++count_;
+    return info;
+}
+
+} // namespace vguard::isa

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * In-order functional executor for VRISC.
+ *
+ * The cycle core (src/cpu) uses this as its architectural oracle: the
+ * executor runs each instruction at fetch time (correct path only — the
+ * core stalls fetch on mispredictions, the same approximation the
+ * paper's SimpleScalar/Wattch setup uses), providing branch outcomes,
+ * effective addresses and data-dependent switching-activity factors
+ * that feed the Wattch-style power model.
+ */
+
+#ifndef VGUARD_ISA_EXECUTOR_HPP
+#define VGUARD_ISA_EXECUTOR_HPP
+
+#include <array>
+#include <cstdint>
+
+#include "isa/memory.hpp"
+#include "isa/program.hpp"
+
+namespace vguard::isa {
+
+/** Architectural register files (unified indexing). */
+class RegisterFile
+{
+  public:
+    /** Read unified register @p r (zero registers read 0). */
+    uint64_t
+    read(uint8_t r) const
+    {
+        if (r == kNoReg || isZeroReg(r))
+            return 0;
+        return regs_[r];
+    }
+
+    /** Write unified register @p r (writes to zero registers drop). */
+    void
+    write(uint8_t r, uint64_t v)
+    {
+        if (r == kNoReg || isZeroReg(r))
+            return;
+        regs_[r] = v;
+    }
+
+    double
+    readDouble(uint8_t r) const
+    {
+        return std::bit_cast<double>(read(r));
+    }
+
+    void
+    writeDouble(uint8_t r, double v)
+    {
+        write(r, std::bit_cast<uint64_t>(v));
+    }
+
+    void reset() { regs_.fill(0); }
+
+  private:
+    std::array<uint64_t, kNumArchRegs> regs_{};
+};
+
+/** Architectural facts about one executed instruction. */
+struct ExecInfo
+{
+    uint32_t pc = 0;         ///< program index of the instruction
+    uint32_t nextPc = 0;     ///< index of the next instruction
+    const StaticInst *si = nullptr;
+    bool taken = false;      ///< control outcome
+    bool halted = false;     ///< executed a HALT
+    uint64_t effAddr = 0;    ///< memory effective address
+    float activity = 0.0f;   ///< data switching factor in [0, 1]
+};
+
+/** Functional interpreter walking a Program (owns a copy of it). */
+class Executor
+{
+  public:
+    explicit Executor(Program program);
+
+    /**
+     * Execute the instruction at the current pc and advance. Calling
+     * step() after halting (or running off the end of the program)
+     * returns ExecInfo{halted=true}.
+     */
+    ExecInfo step();
+
+    bool halted() const { return halted_; }
+    uint32_t pc() const { return pc_; }
+    uint64_t instsExecuted() const { return count_; }
+
+    RegisterFile &regs() { return regs_; }
+    const RegisterFile &regs() const { return regs_; }
+    SparseMemory &mem() { return mem_; }
+    const SparseMemory &mem() const { return mem_; }
+
+    /** Restart from index 0 with registers/memory cleared. */
+    void reset();
+
+  private:
+    float activityOf(uint64_t a, uint64_t b, uint64_t result) const;
+
+    Program program_;
+    RegisterFile regs_;
+    SparseMemory mem_;
+    uint32_t pc_ = 0;
+    uint64_t count_ = 0;
+    bool halted_ = false;
+};
+
+} // namespace vguard::isa
+
+#endif // VGUARD_ISA_EXECUTOR_HPP

@@ -1,0 +1,45 @@
+#include "isa/memory.hpp"
+
+#include <bit>
+
+#include "util/logging.hpp"
+
+namespace vguard::isa {
+
+uint64_t
+SparseMemory::read(uint64_t addr) const
+{
+    if (addr & 7)
+        panic("SparseMemory::read: unaligned address %#llx",
+              static_cast<unsigned long long>(addr));
+    auto it = pages_.find(addr / kPageBytes);
+    if (it == pages_.end())
+        return 0;
+    return (*it->second)[(addr % kPageBytes) / 8];
+}
+
+void
+SparseMemory::write(uint64_t addr, uint64_t value)
+{
+    if (addr & 7)
+        panic("SparseMemory::write: unaligned address %#llx",
+              static_cast<unsigned long long>(addr));
+    auto &page = pages_[addr / kPageBytes];
+    if (!page)
+        page = std::make_unique<Page>();
+    (*page)[(addr % kPageBytes) / 8] = value;
+}
+
+double
+SparseMemory::readDouble(uint64_t addr) const
+{
+    return std::bit_cast<double>(read(addr));
+}
+
+void
+SparseMemory::writeDouble(uint64_t addr, double value)
+{
+    write(addr, std::bit_cast<uint64_t>(value));
+}
+
+} // namespace vguard::isa

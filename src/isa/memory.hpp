@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Sparse 64-bit data memory for functional execution.
+ *
+ * Pages (4 KiB) are allocated lazily; unwritten memory reads as zero.
+ * All VRISC accesses are 8-byte aligned quadwords — the executor
+ * enforces alignment, matching the Alpha-style codes in the paper.
+ */
+
+#ifndef VGUARD_ISA_MEMORY_HPP
+#define VGUARD_ISA_MEMORY_HPP
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+namespace vguard::isa {
+
+/** Lazily-paged flat memory of 64-bit words. */
+class SparseMemory
+{
+  public:
+    static constexpr uint64_t kPageBytes = 4096;
+    static constexpr uint64_t kWordsPerPage = kPageBytes / 8;
+
+    /** Read the aligned quadword at @p addr (0 if never written). */
+    uint64_t read(uint64_t addr) const;
+
+    /** Write the aligned quadword at @p addr. */
+    void write(uint64_t addr, uint64_t value);
+
+    /** Read as an IEEE double. */
+    double readDouble(uint64_t addr) const;
+
+    /** Write an IEEE double. */
+    void writeDouble(uint64_t addr, double value);
+
+    /** Number of resident pages. */
+    size_t pageCount() const { return pages_.size(); }
+
+    /** Drop all pages. */
+    void clear() { pages_.clear(); }
+
+  private:
+    using Page = std::array<uint64_t, kWordsPerPage>;
+    std::unordered_map<uint64_t, std::unique_ptr<Page>> pages_;
+};
+
+} // namespace vguard::isa
+
+#endif // VGUARD_ISA_MEMORY_HPP

@@ -1,0 +1,141 @@
+#include "isa/opcodes.hpp"
+
+#include "util/logging.hpp"
+
+namespace vguard::isa {
+
+OpClass
+opClass(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:
+      case Opcode::HALT:
+        return OpClass::Nop;
+      case Opcode::ADDQ:
+      case Opcode::SUBQ:
+      case Opcode::AND:
+      case Opcode::BIS:
+      case Opcode::XOR:
+      case Opcode::SLL:
+      case Opcode::SRL:
+      case Opcode::CMPEQ:
+      case Opcode::CMPLT:
+      case Opcode::CMOVNE:
+      case Opcode::LDIQ:
+        return OpClass::IntAlu;
+      case Opcode::MULQ:
+        return OpClass::IntMult;
+      case Opcode::DIVQ:
+        return OpClass::IntDiv;
+      case Opcode::ADDT:
+      case Opcode::SUBT:
+      case Opcode::CVTQT:
+      case Opcode::LDIT:
+        return OpClass::FpAdd;
+      case Opcode::MULT:
+        return OpClass::FpMult;
+      case Opcode::DIVT:
+        return OpClass::FpDiv;
+      case Opcode::LDQ:
+      case Opcode::LDT:
+        return OpClass::Load;
+      case Opcode::STQ:
+      case Opcode::STT:
+        return OpClass::Store;
+      case Opcode::BR:
+      case Opcode::BEQ:
+      case Opcode::BNE:
+      case Opcode::BLT:
+      case Opcode::BGE:
+      case Opcode::CALL:
+      case Opcode::RET:
+        return OpClass::Branch;
+      default:
+        panic("opClass: bad opcode %d", static_cast<int>(op));
+    }
+}
+
+const char *
+mnemonic(Opcode op)
+{
+    switch (op) {
+      case Opcode::NOP:    return "nop";
+      case Opcode::HALT:   return "halt";
+      case Opcode::ADDQ:   return "addq";
+      case Opcode::SUBQ:   return "subq";
+      case Opcode::AND:    return "and";
+      case Opcode::BIS:    return "bis";
+      case Opcode::XOR:    return "xor";
+      case Opcode::SLL:    return "sll";
+      case Opcode::SRL:    return "srl";
+      case Opcode::CMPEQ:  return "cmpeq";
+      case Opcode::CMPLT:  return "cmplt";
+      case Opcode::CMOVNE: return "cmovne";
+      case Opcode::LDIQ:   return "ldiq";
+      case Opcode::MULQ:   return "mulq";
+      case Opcode::DIVQ:   return "divq";
+      case Opcode::ADDT:   return "addt";
+      case Opcode::SUBT:   return "subt";
+      case Opcode::MULT:   return "mult";
+      case Opcode::DIVT:   return "divt";
+      case Opcode::CVTQT:  return "cvtqt";
+      case Opcode::LDIT:   return "ldit";
+      case Opcode::LDQ:    return "ldq";
+      case Opcode::STQ:    return "stq";
+      case Opcode::LDT:    return "ldt";
+      case Opcode::STT:    return "stt";
+      case Opcode::BR:     return "br";
+      case Opcode::BEQ:    return "beq";
+      case Opcode::BNE:    return "bne";
+      case Opcode::BLT:    return "blt";
+      case Opcode::BGE:    return "bge";
+      case Opcode::CALL:   return "call";
+      case Opcode::RET:    return "ret";
+      default:             return "???";
+    }
+}
+
+bool
+isLoad(Opcode op)
+{
+    return op == Opcode::LDQ || op == Opcode::LDT;
+}
+
+bool
+isStore(Opcode op)
+{
+    return op == Opcode::STQ || op == Opcode::STT;
+}
+
+bool
+isControl(Opcode op)
+{
+    return opClass(op) == OpClass::Branch;
+}
+
+bool
+isCondBranch(Opcode op)
+{
+    return op == Opcode::BEQ || op == Opcode::BNE || op == Opcode::BLT ||
+           op == Opcode::BGE;
+}
+
+bool
+isFp(Opcode op)
+{
+    switch (op) {
+      case Opcode::ADDT:
+      case Opcode::SUBT:
+      case Opcode::MULT:
+      case Opcode::DIVT:
+      case Opcode::CVTQT:
+      case Opcode::LDIT:
+      case Opcode::LDT:
+      case Opcode::STT:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace vguard::isa

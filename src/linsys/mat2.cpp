@@ -1,0 +1,82 @@
+#include "linsys/mat2.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::linsys {
+
+Mat2
+Mat2::operator+(const Mat2 &o) const
+{
+    return {a + o.a, b + o.b, c + o.c, d + o.d};
+}
+
+Mat2
+Mat2::operator-(const Mat2 &o) const
+{
+    return {a - o.a, b - o.b, c - o.c, d - o.d};
+}
+
+Mat2
+Mat2::operator*(const Mat2 &o) const
+{
+    return {a * o.a + b * o.c, a * o.b + b * o.d,
+            c * o.a + d * o.c, c * o.b + d * o.d};
+}
+
+Mat2
+Mat2::operator*(double s) const
+{
+    return {a * s, b * s, c * s, d * s};
+}
+
+Vec2
+Mat2::operator*(const Vec2 &v) const
+{
+    return {a * v.x + b * v.y, c * v.x + d * v.y};
+}
+
+double
+Mat2::maxAbs() const
+{
+    return std::max(std::max(std::fabs(a), std::fabs(b)),
+                    std::max(std::fabs(c), std::fabs(d)));
+}
+
+Mat2
+Mat2::inverse() const
+{
+    const double dt = det();
+    if (std::fabs(dt) < 1e-300)
+        panic("Mat2::inverse: singular matrix (det=%g)", dt);
+    const double inv = 1.0 / dt;
+    return {d * inv, -b * inv, -c * inv, a * inv};
+}
+
+Mat2
+expm(const Mat2 &m)
+{
+    // Scale so the argument is small, expand the Taylor series, then
+    // square back up. With ||M/2^s|| <= 0.5 the 16-term series is
+    // accurate to ~1e-17 relative.
+    int s = 0;
+    double norm = m.maxAbs();
+    while (norm > 0.5 && s < 64) {
+        norm *= 0.5;
+        ++s;
+    }
+    const Mat2 a = m * std::ldexp(1.0, -s);
+
+    Mat2 result = Mat2::identity();
+    Mat2 term = Mat2::identity();
+    for (int k = 1; k <= 16; ++k) {
+        term = term * a * (1.0 / k);
+        result = result + term;
+    }
+    for (int i = 0; i < s; ++i)
+        result = result * result;
+    return result;
+}
+
+} // namespace vguard::linsys

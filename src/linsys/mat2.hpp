@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Tiny fixed-size linear algebra for second-order systems: 2-vectors,
+ * 2x2 matrices, matrix exponential and inverse.
+ *
+ * The paper's power-supply model is a second-order linear system
+ * (Section 2.2), so everything in vguard reduces to 2-state math; a
+ * dedicated micro-library keeps this dependency-free and fast.
+ */
+
+#ifndef VGUARD_LINSYS_MAT2_HPP
+#define VGUARD_LINSYS_MAT2_HPP
+
+#include <array>
+
+namespace vguard::linsys {
+
+/** Column 2-vector. */
+struct Vec2
+{
+    double x = 0.0;
+    double y = 0.0;
+
+    Vec2 operator+(const Vec2 &o) const { return {x + o.x, y + o.y}; }
+    Vec2 operator-(const Vec2 &o) const { return {x - o.x, y - o.y}; }
+    Vec2 operator*(double s) const { return {x * s, y * s}; }
+    Vec2 &
+    operator+=(const Vec2 &o)
+    {
+        x += o.x;
+        y += o.y;
+        return *this;
+    }
+};
+
+/** Row-major 2x2 matrix. */
+struct Mat2
+{
+    // | a  b |
+    // | c  d |
+    double a = 0.0, b = 0.0, c = 0.0, d = 0.0;
+
+    static Mat2 identity() { return {1.0, 0.0, 0.0, 1.0}; }
+    static Mat2 zero() { return {}; }
+
+    Mat2 operator+(const Mat2 &o) const;
+    Mat2 operator-(const Mat2 &o) const;
+    Mat2 operator*(const Mat2 &o) const;
+    Mat2 operator*(double s) const;
+    Vec2 operator*(const Vec2 &v) const;
+
+    double trace() const { return a + d; }
+    double det() const { return a * d - b * c; }
+
+    /** Largest absolute entry (used for expm scaling). */
+    double maxAbs() const;
+
+    /** Matrix inverse; panics on a singular matrix. */
+    Mat2 inverse() const;
+};
+
+/**
+ * Matrix exponential exp(M) via scaling-and-squaring with a Taylor
+ * series. Accurate to near machine precision for the well-conditioned
+ * matrices produced by RLC models at nanosecond time steps.
+ */
+Mat2 expm(const Mat2 &m);
+
+} // namespace vguard::linsys
+
+#endif // VGUARD_LINSYS_MAT2_HPP

@@ -1,0 +1,95 @@
+#include "linsys/state_space.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::linsys {
+
+DiscreteStateSpace2
+DiscreteStateSpace2::zoh(const StateSpace2 &sys, double dt)
+{
+    if (!(dt > 0.0))
+        fatal("DiscreteStateSpace2::zoh: dt must be positive (got %g)", dt);
+
+    DiscreteStateSpace2 out;
+    out.ad_ = expm(sys.a * dt);
+    // Bd = A^-1 (Ad - I) B. The PDN A-matrix is always invertible
+    // (non-zero resistance); fall back to a series if it is not.
+    const double det = sys.a.det();
+    if (std::fabs(det) > 1e-30 * sys.a.maxAbs() * sys.a.maxAbs()) {
+        out.bd_ = sys.a.inverse() * (out.ad_ - Mat2::identity()) * sys.b;
+    } else {
+        // Bd = (I dt + A dt^2/2! + A^2 dt^3/3! + ...) B
+        Mat2 acc = Mat2::identity() * dt;
+        Mat2 term = Mat2::identity() * dt;
+        for (int k = 2; k <= 16; ++k) {
+            term = term * sys.a * (dt / k);
+            acc = acc + term;
+        }
+        out.bd_ = acc * sys.b;
+    }
+    out.c_ = sys.c;
+    out.d_ = sys.d;
+    out.dt_ = dt;
+    return out;
+}
+
+std::vector<double>
+DiscreteStateSpace2::simulate(Vec2 &x0, const std::vector<Vec2> &inputs) const
+{
+    std::vector<double> ys;
+    ys.reserve(inputs.size());
+    for (const Vec2 &u : inputs) {
+        ys.push_back(output(x0, u));
+        x0 = next(x0, u);
+    }
+    return ys;
+}
+
+double
+DiscreteStateSpace2::spectralRadius() const
+{
+    // Eigenvalues of a 2x2: (tr ± sqrt(tr^2 - 4 det)) / 2.
+    const double tr = ad_.trace();
+    const double det = ad_.det();
+    const double disc = tr * tr - 4.0 * det;
+    if (disc >= 0.0) {
+        const double r = std::sqrt(disc);
+        return std::max(std::fabs((tr + r) * 0.5),
+                        std::fabs((tr - r) * 0.5));
+    }
+    // Complex pair: |lambda| = sqrt(det).
+    return std::sqrt(std::fabs(det));
+}
+
+std::vector<double>
+constantSignal(size_t len, double value)
+{
+    return std::vector<double>(len, value);
+}
+
+std::vector<double>
+pulseSignal(size_t len, double baseline, double high, size_t start,
+            size_t width)
+{
+    std::vector<double> s(len, baseline);
+    for (size_t i = start; i < std::min(len, start + width); ++i)
+        s[i] = high;
+    return s;
+}
+
+std::vector<double>
+pulseTrainSignal(size_t len, double baseline, double high, size_t start,
+                 size_t width, size_t period)
+{
+    if (period == 0)
+        fatal("pulseTrainSignal: period must be non-zero");
+    std::vector<double> s(len, baseline);
+    for (size_t t = start; t < len; t += period)
+        for (size_t i = t; i < std::min(len, t + width); ++i)
+            s[i] = high;
+    return s;
+}
+
+} // namespace vguard::linsys

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Continuous and discrete 2-state linear state-space systems.
+ *
+ * Continuous form:  x' = A x + B u,   y = cᵀ x + dᵀ u
+ * with a two-channel input u (for the PDN: u = [Vdd, I_cpu]) and a
+ * scalar output y (the die supply voltage).
+ *
+ * Discretisation is exact zero-order-hold (ZOH): the input is constant
+ * across each CPU clock cycle, which is precisely the per-cycle current
+ * abstraction used by Wattch-style power models (paper Section 3.1).
+ */
+
+#ifndef VGUARD_LINSYS_STATE_SPACE_HPP
+#define VGUARD_LINSYS_STATE_SPACE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "linsys/mat2.hpp"
+
+namespace vguard::linsys {
+
+/** Continuous-time 2-state, 2-input, 1-output linear system. */
+struct StateSpace2
+{
+    Mat2 a;  ///< state matrix
+    Mat2 b;  ///< input matrix (columns: input channels)
+    Vec2 c;  ///< output row vector
+    Vec2 d;  ///< feed-through row vector
+
+    /** Output y = cᵀx + dᵀu. */
+    double
+    output(const Vec2 &x, const Vec2 &u) const
+    {
+        return c.x * x.x + c.y * x.y + d.x * u.x + d.y * u.y;
+    }
+};
+
+/** Exactly-discretised (ZOH) counterpart of StateSpace2. */
+class DiscreteStateSpace2
+{
+  public:
+    DiscreteStateSpace2() = default;
+
+    /**
+     * Discretise @p sys with time step @p dt seconds under a
+     * zero-order hold on the inputs.
+     */
+    static DiscreteStateSpace2 zoh(const StateSpace2 &sys, double dt);
+
+    /** Advance one step: returns x[k+1] given x[k] and held input u[k]. */
+    Vec2
+    next(const Vec2 &x, const Vec2 &u) const
+    {
+        return ad_ * x + bd_ * u;
+    }
+
+    /** Output at the *current* state/input. */
+    double
+    output(const Vec2 &x, const Vec2 &u) const
+    {
+        return c_.x * x.x + c_.y * x.y + d_.x * u.x + d_.y * u.y;
+    }
+
+    /**
+     * Simulate an input sequence from initial state @p x0; returns the
+     * output sampled at every step (before advancing). @p x0 is updated
+     * to the final state.
+     */
+    std::vector<double> simulate(Vec2 &x0,
+                                 const std::vector<Vec2> &inputs) const;
+
+    /** Spectral radius of Ad (must be < 1 for a stable model). */
+    double spectralRadius() const;
+
+    double dt() const { return dt_; }
+    const Mat2 &ad() const { return ad_; }
+    const Mat2 &bd() const { return bd_; }
+    const Vec2 &c() const { return c_; }
+    const Vec2 &d() const { return d_; }
+
+  private:
+    Mat2 ad_;
+    Mat2 bd_;
+    Vec2 c_;
+    Vec2 d_;
+    double dt_ = 0.0;
+};
+
+/** @name Signal builders (unit-less helpers for response studies)
+ * @{ */
+
+/** Constant signal of @p len samples. */
+std::vector<double> constantSignal(size_t len, double value);
+
+/**
+ * Rectangular pulse: baseline with [start, start+width) raised to
+ * @p high. Used for the narrow/wide spike studies of Figs. 3-4.
+ */
+std::vector<double> pulseSignal(size_t len, double baseline, double high,
+                                size_t start, size_t width);
+
+/**
+ * Periodic train of rectangular pulses (Fig. 6's resonant stress
+ * pattern): pulses of @p width samples every @p period samples starting
+ * at @p start.
+ */
+std::vector<double> pulseTrainSignal(size_t len, double baseline,
+                                     double high, size_t start,
+                                     size_t width, size_t period);
+
+/** @} */
+
+} // namespace vguard::linsys
+
+#endif // VGUARD_LINSYS_STATE_SPACE_HPP

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Impulse-response extraction and streaming convolution.
+ *
+ * The paper computes supply voltage by convolving the Wattch per-cycle
+ * current trace with the package impulse response (Section 3.1, Fig. 7).
+ * vguard supports both that convolution pipeline and direct state-space
+ * stepping; the two are verified equivalent in tests.
+ */
+
+#ifndef VGUARD_PDN_IMPULSE_HPP
+#define VGUARD_PDN_IMPULSE_HPP
+
+#include <cstddef>
+#include <vector>
+
+#include "pdn/package_model.hpp"
+
+namespace vguard::pdn {
+
+/**
+ * Voltage impulse response h[k]: die-voltage deviation at cycle k caused
+ * by a 1 A, one-cycle current pulse at cycle 0 (Vdd held). Taps are
+ * mostly negative (current draw dips the voltage) with sign changes from
+ * ringing; Σ h[k] = −R_s.
+ *
+ * The response is truncated once the remaining tail becomes negligible
+ * relative to the largest tap.
+ *
+ * @param model       Package to characterise.
+ * @param relTol      Tail truncation threshold (relative to max |h|).
+ * @param maxTaps     Hard cap on the kernel length.
+ */
+std::vector<double> impulseResponse(const PackageModel &model,
+                                    double relTol = 1e-9,
+                                    size_t maxTaps = 1 << 15);
+
+/**
+ * Voltage step response: deviation trace for a sustained 1 A step
+ * starting at cycle 0 (the right-hand plot of the paper's Fig. 2,
+ * mirrored to the voltage domain).
+ */
+std::vector<double> stepResponse(const PackageModel &model, size_t cycles);
+
+/**
+ * Streaming convolver: v(t) = vdd + Σ_k h[k]·I(t−k) evaluated online
+ * with a ring buffer, suitable for coupling to a cycle simulator.
+ */
+class Convolver
+{
+  public:
+    /**
+     * @param impulse Kernel h (from impulseResponse()).
+     * @param vdd     Regulator set point added to the deviation.
+     * @param iBias   Current history is pre-filled with this value so
+     *                the convolver starts at the corresponding DC point.
+     */
+    Convolver(std::vector<double> impulse, double vdd, double iBias = 0.0);
+
+    /** Push this cycle's current; returns this cycle's die voltage. */
+    double step(double amps);
+
+    /** Re-fill history with the bias current. */
+    void reset();
+
+    size_t taps() const { return kernel_.size(); }
+    double vdd() const { return vdd_; }
+
+  private:
+    std::vector<double> kernel_;   ///< h[0..K)
+    std::vector<double> history_;  ///< ring buffer of recent currents
+    size_t head_ = 0;              ///< index of the most recent sample
+    double vdd_;
+    double iBias_;
+};
+
+} // namespace vguard::pdn
+
+#endif // VGUARD_PDN_IMPULSE_HPP

@@ -1,0 +1,97 @@
+#include "pdn/itrs.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::pdn {
+
+namespace {
+
+// Allowed supply ripple used by the roadmap derivation.
+constexpr double kRipple = 0.05;
+
+struct RawEntry
+{
+    int year;
+    double vdd;
+    double iMax;
+};
+
+// Representative ITRS-2001 style supply voltage and maximum device
+// current projections (see header: qualitative reconstruction).
+const RawEntry kHighPerf[] = {
+    {2001, 1.1, 100.0}, {2002, 1.0, 110.0}, {2003, 1.0, 130.0},
+    {2004, 1.0, 150.0}, {2005, 0.9, 170.0}, {2007, 0.7, 200.0},
+    {2010, 0.6, 250.0}, {2013, 0.5, 290.0}, {2016, 0.4, 330.0},
+};
+
+const RawEntry kCostPerf[] = {
+    {2001, 1.2, 35.0},  {2002, 1.1, 42.0},  {2003, 1.1, 52.0},
+    {2004, 1.0, 62.0},  {2005, 1.0, 75.0},  {2007, 0.9, 105.0},
+    {2010, 0.7, 140.0}, {2013, 0.6, 180.0}, {2016, 0.5, 220.0},
+};
+
+std::vector<ItrsEntry>
+build(const RawEntry *raw, size_t n)
+{
+    std::vector<ItrsEntry> out;
+    out.reserve(n);
+    for (size_t i = 0; i < n; ++i) {
+        ItrsEntry e;
+        e.year = raw[i].year;
+        e.vddVolts = raw[i].vdd;
+        e.iMaxAmps = raw[i].iMax;
+        e.zTargetOhms = kRipple * raw[i].vdd / raw[i].iMax;
+        e.zRelative = 0.0; // filled by the ctor
+        out.push_back(e);
+    }
+    return out;
+}
+
+double
+hpNorm()
+{
+    return kRipple * kHighPerf[0].vdd / kHighPerf[0].iMax;
+}
+
+} // namespace
+
+ItrsRoadmap::ItrsRoadmap(std::vector<ItrsEntry> entries, double normOhms)
+    : entries_(std::move(entries))
+{
+    if (entries_.empty())
+        panic("ItrsRoadmap: empty table");
+    for (auto &e : entries_)
+        e.zRelative = e.zTargetOhms / normOhms;
+}
+
+ItrsRoadmap
+ItrsRoadmap::highPerformance()
+{
+    return ItrsRoadmap(
+        build(kHighPerf, sizeof(kHighPerf) / sizeof(kHighPerf[0])),
+        hpNorm());
+}
+
+ItrsRoadmap
+ItrsRoadmap::costPerformance()
+{
+    return ItrsRoadmap(
+        build(kCostPerf, sizeof(kCostPerf) / sizeof(kCostPerf[0])),
+        hpNorm());
+}
+
+double
+ItrsRoadmap::halvingPeriodYears() const
+{
+    const auto &first = entries_.front();
+    const auto &last = entries_.back();
+    const double decades =
+        std::log2(first.zTargetOhms / last.zTargetOhms);
+    if (decades <= 0.0)
+        return 0.0;
+    return (last.year - first.year) / decades;
+}
+
+} // namespace vguard::pdn

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * ITRS 2001 roadmap impedance trends (paper Fig. 1).
+ *
+ * The paper's Fig. 1 plots *relative* supply-network target impedance
+ * for cost-performance and high-performance systems, normalised to the
+ * 2001 high-performance value, with two headline observations:
+ *  1. target impedance must drop ~2× every 3-5 years, and
+ *  2. the gap between the cost-performance and high-performance curves
+ *     shrinks over time.
+ *
+ * The printed roadmap tables themselves give Vdd and max current per
+ * year; target impedance is derived as Z = (ripple% × Vdd) / I_max.
+ * This module reconstructs the derivation from representative ITRS 2001
+ * values (we do not have the original spreadsheet; numbers are
+ * documented as a qualitative reconstruction in DESIGN.md).
+ */
+
+#ifndef VGUARD_PDN_ITRS_HPP
+#define VGUARD_PDN_ITRS_HPP
+
+#include <vector>
+
+namespace vguard::pdn {
+
+/** One roadmap year for a system class. */
+struct ItrsEntry
+{
+    int year;
+    double vddVolts;       ///< supply voltage
+    double iMaxAmps;       ///< maximum device current
+    double zTargetOhms;    ///< (ripple × Vdd) / iMax
+    double zRelative;      ///< normalised to the 2001 high-perf value
+};
+
+/** Roadmap table for one system class. */
+class ItrsRoadmap
+{
+  public:
+    /** High-performance system trend, 2001-2016. */
+    static ItrsRoadmap highPerformance();
+
+    /** Cost-performance system trend, 2001-2016. */
+    static ItrsRoadmap costPerformance();
+
+    const std::vector<ItrsEntry> &entries() const { return entries_; }
+
+    /** Average factor by which impedance halves, in years. */
+    double halvingPeriodYears() const;
+
+  private:
+    ItrsRoadmap(std::vector<ItrsEntry> entries, double normOhms);
+
+    std::vector<ItrsEntry> entries_;
+};
+
+} // namespace vguard::pdn
+
+#endif // VGUARD_PDN_ITRS_HPP

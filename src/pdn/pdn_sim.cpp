@@ -1,0 +1,55 @@
+#include "pdn/pdn_sim.hpp"
+
+namespace vguard::pdn {
+
+PdnSim::PdnSim(const PackageModel &model)
+    : model_(model), dss_(model.discrete()),
+      vdd_(model.params().vNominal)
+{
+    trimToCurrent(0.0);
+}
+
+void
+PdnSim::trimToCurrent(double iRef)
+{
+    iTrim_ = iRef;
+    const auto &p = model_.params();
+    // DC: v_die = Vdd - rDc * I; pick Vdd so v_die == vNominal.
+    vdd_ = p.vNominal + p.rDc() * iRef;
+    // DC state: v_bulk = Vdd - R_vrm I, i_L = I, v_dcap = vNominal.
+    xTrim_ = {vdd_ - p.rVrm * iRef, iRef, p.vNominal};
+    x_ = xTrim_;
+}
+
+double
+PdnSim::step(double amps)
+{
+    const std::vector<double> u{vdd_, amps};
+    const double v = dss_.output(x_, u);
+    dss_.next(x_, u);
+    return v;
+}
+
+std::vector<double>
+PdnSim::run(const std::vector<double> &amps)
+{
+    std::vector<double> vs;
+    vs.reserve(amps.size());
+    for (double i : amps)
+        vs.push_back(step(i));
+    return vs;
+}
+
+double
+PdnSim::outputAt(double amps) const
+{
+    return dss_.output(x_, {vdd_, amps});
+}
+
+void
+PdnSim::reset()
+{
+    x_ = xTrim_;
+}
+
+} // namespace vguard::pdn

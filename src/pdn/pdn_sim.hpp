@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Cycle-by-cycle PDN simulator.
+ *
+ * Wraps the exactly-discretised package state space with mutable state
+ * and the paper's regulator convention: "a capable voltage regulator can
+ * maintain the ideal supply level of 1.0 V when the processor is at its
+ * minimum power level" (Section 3.1). trimToCurrent() implements that by
+ * raising the regulator set point to cancel the IR drop at a reference
+ * current.
+ */
+
+#ifndef VGUARD_PDN_PDN_SIM_HPP
+#define VGUARD_PDN_PDN_SIM_HPP
+
+#include <vector>
+
+#include "pdn/package_model.hpp"
+
+namespace vguard::pdn {
+
+/** Stateful per-cycle simulator of a PackageModel. */
+class PdnSim
+{
+  public:
+    explicit PdnSim(const PackageModel &model);
+
+    /**
+     * Choose the regulator set point so the die sits exactly at
+     * vNominal when drawing @p iRef amps DC, and initialise the state
+     * to that operating point.
+     */
+    void trimToCurrent(double iRef);
+
+    /**
+     * Advance one CPU cycle with the processor drawing @p amps; returns
+     * the die voltage during that cycle.
+     */
+    double step(double amps);
+
+    /** Run a whole current trace; returns the voltage trace. */
+    std::vector<double> run(const std::vector<double> &amps);
+
+    /** Die voltage for the current state given a held current draw. */
+    double outputAt(double amps) const;
+
+    /** Reset state to the DC operating point of the last trim. */
+    void reset();
+
+    /** Regulator set point (after trim). */
+    double vddSetPoint() const { return vdd_; }
+
+    /** Nominal die voltage (band centre). */
+    double vNominal() const { return model_.params().vNominal; }
+
+    const PackageModel &model() const { return model_; }
+
+    /** Raw state access for checkpoint/restore in solver searches. */
+    const std::vector<double> &state() const { return x_; }
+    void setState(const std::vector<double> &x) { x_ = x; }
+
+  private:
+    PackageModel model_;
+    linsys::DiscreteStateSpaceN dss_;
+    std::vector<double> x_;      ///< [v_bulk, i_L, v_dcap]
+    std::vector<double> xTrim_;  ///< DC state at the trim point
+    double vdd_;                 ///< regulator set point
+    double iTrim_ = 0.0;
+};
+
+} // namespace vguard::pdn
+
+#endif // VGUARD_PDN_PDN_SIM_HPP

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Target-impedance calibration.
+ *
+ * "Target impedance represents the impedance value that will keep the
+ * voltage within a specified range … By definition, voltage emergencies
+ * cannot occur if the target impedance is met." (paper Section 3.3)
+ *
+ * vguard makes that definition operational: the target impedance for a
+ * processor whose current spans [iMin, iMax] is the largest package peak
+ * impedance for which the *exact worst-case* current waveform (bang-bang
+ * analysis, linsys/worst_case.hpp) keeps the die voltage within
+ * vNominal ± band. Table 2's 100/200/300/400 % columns scale this value.
+ */
+
+#ifndef VGUARD_PDN_TARGET_IMPEDANCE_HPP
+#define VGUARD_PDN_TARGET_IMPEDANCE_HPP
+
+#include "pdn/package_model.hpp"
+
+namespace vguard::pdn {
+
+/** Inputs to target-impedance calibration. */
+struct TargetImpedanceSpec
+{
+    double f0Hz = 50e6;      ///< package resonant frequency
+    double rDc = 0.5e-3;     ///< DC path resistance [Ω]
+    double rDamp = 0.25e-3;  ///< resonant-loop damping [Ω]
+    double clockHz = 3e9;    ///< CPU clock
+    double vNominal = 1.0;   ///< nominal voltage
+    double band = 0.05;      ///< allowed fractional swing (±5 %)
+    double iMin = 0.0;       ///< minimum processor current [A]
+    double iMax = 0.0;       ///< maximum processor current [A]
+    double iTrim = -1.0;     ///< regulator trim point (default iMin)
+};
+
+/** Result of the calibration. */
+struct TargetImpedanceResult
+{
+    double zTargetOhms = 0.0;   ///< calibrated target impedance
+    double worstDipV = 0.0;     ///< worst-case dip at the target [V]
+    double worstPeakV = 0.0;    ///< worst-case overshoot at target [V]
+};
+
+/**
+ * Worst-case voltage extremes for a given package and current bounds,
+ * with the regulator trimmed so the die sits at vNominal at iMin
+ * (the paper's regulator assumption).
+ */
+void worstCaseExtremes(const PackageModel &model, double iMin, double iMax,
+                       double &vMinOut, double &vMaxOut,
+                       double iTrim = -1.0);
+
+/**
+ * Binary-search the peak impedance whose worst-case swing exactly
+ * reaches the band edge. Monotonicity of swing vs peak impedance makes
+ * this a clean bisection.
+ */
+TargetImpedanceResult calibrateTargetImpedance(
+    const TargetImpedanceSpec &spec);
+
+} // namespace vguard::pdn
+
+#endif // VGUARD_PDN_TARGET_IMPEDANCE_HPP

@@ -1,0 +1,200 @@
+#include "power/wattch.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vguard::power {
+
+using cpu::ActivityVector;
+
+const char *
+unitName(Unit u)
+{
+    switch (u) {
+      case Unit::Fetch:      return "fetch";
+      case Unit::Bpred:      return "bpred";
+      case Unit::Dispatch:   return "dispatch";
+      case Unit::Window:     return "window";
+      case Unit::Lsq:        return "lsq";
+      case Unit::RegFile:    return "regfile";
+      case Unit::IntAlu:     return "intalu";
+      case Unit::IntMultDiv: return "intmultdiv";
+      case Unit::FpAlu:      return "fpalu";
+      case Unit::FpMultDiv:  return "fpmultdiv";
+      case Unit::Dl1:        return "dl1";
+      case Unit::L2:         return "l2";
+      case Unit::ResultBus:  return "resultbus";
+      case Unit::Clock:      return "clock";
+      default:               return "???";
+    }
+}
+
+WattchModel::WattchModel(const PowerConfig &pcfg,
+                         const cpu::CpuConfig &ccfg)
+    : pcfg_(pcfg), ccfg_(ccfg)
+{
+    if (pcfg_.vdd <= 0.0)
+        fatal("WattchModel: vdd must be positive");
+    for (double p : pcfg_.pMax)
+        if (p < 0.0)
+            fatal("WattchModel: negative unit power");
+}
+
+double
+WattchModel::unitPower(Unit u, bool gated, bool phantom, double act,
+                       double sw) const
+{
+    const double pmax = pcfg_.pMax[static_cast<size_t>(u)];
+    if (phantom)
+        return pmax; // fired at full tilt for voltage control
+    if (gated)
+        return pmax * pcfg_.gatedFrac;
+    const double idle =
+        u == Unit::L2 ? pcfg_.idleFracL2 : pcfg_.idleFrac;
+    const double a = std::clamp(act, 0.0, 1.0);
+    return pmax * (idle + (1.0 - idle) * a * sw);
+}
+
+double
+WattchModel::power(const ActivityVector &av)
+{
+    const auto &g = av.gates;
+    const auto &ph = av.phantom;
+
+    const double sw =
+        std::clamp(pcfg_.sBase + pcfg_.sRange * av.issueActivity, 0.0,
+                   1.0);
+
+    auto frac = [](uint32_t n, unsigned d) {
+        return d ? static_cast<double>(n) / d : 0.0;
+    };
+
+    auto &p = last_;
+    p.fill(0.0);
+
+    p[static_cast<size_t>(Unit::Fetch)] = unitPower(
+        Unit::Fetch, g.il1, ph.il1, frac(av.fetched, ccfg_.fetchWidth),
+        sw);
+    p[static_cast<size_t>(Unit::Bpred)] =
+        unitPower(Unit::Bpred, false, false,
+                  frac(av.bpredLookups, ccfg_.fetchWidth), sw);
+    p[static_cast<size_t>(Unit::Dispatch)] =
+        unitPower(Unit::Dispatch, false, false,
+                  frac(av.dispatched, ccfg_.decodeWidth), sw);
+    p[static_cast<size_t>(Unit::Window)] = unitPower(
+        Unit::Window, false, false,
+        0.5 * frac(av.dispatched + av.writebacks, 2 * ccfg_.decodeWidth) +
+            0.5 * frac(av.ruuOccupancy, ccfg_.ruuSize),
+        sw);
+    p[static_cast<size_t>(Unit::Lsq)] = unitPower(
+        Unit::Lsq, false, false,
+        0.5 * frac(av.memPortsUsed, ccfg_.numMemPorts) +
+            0.5 * frac(av.lsqOccupancy, ccfg_.lsqSize),
+        sw);
+    p[static_cast<size_t>(Unit::RegFile)] = unitPower(
+        Unit::RegFile, false, false,
+        frac(av.regReads + av.regWrites, 3 * ccfg_.issueWidth), sw);
+
+    p[static_cast<size_t>(Unit::IntAlu)] =
+        unitPower(Unit::IntAlu, g.fu, ph.fu,
+                  frac(av.busyIntAlu, ccfg_.numIntAlu), sw);
+    p[static_cast<size_t>(Unit::IntMultDiv)] =
+        unitPower(Unit::IntMultDiv, g.fu, ph.fu,
+                  frac(av.busyIntMultDiv, ccfg_.numIntMultDiv), sw);
+    p[static_cast<size_t>(Unit::FpAlu)] =
+        unitPower(Unit::FpAlu, g.fu, ph.fu,
+                  frac(av.busyFpAlu, ccfg_.numFpAlu), sw);
+    p[static_cast<size_t>(Unit::FpMultDiv)] =
+        unitPower(Unit::FpMultDiv, g.fu, ph.fu,
+                  frac(av.busyFpMultDiv, ccfg_.numFpMultDiv), sw);
+
+    p[static_cast<size_t>(Unit::Dl1)] =
+        unitPower(Unit::Dl1, g.dl1, ph.dl1,
+                  frac(av.dcacheAccesses, ccfg_.numMemPorts), sw);
+    p[static_cast<size_t>(Unit::L2)] = unitPower(
+        Unit::L2, false, false, std::min<uint32_t>(av.l2Accesses, 1u),
+        sw);
+    p[static_cast<size_t>(Unit::ResultBus)] =
+        unitPower(Unit::ResultBus, false, false,
+                  frac(av.writebacks, ccfg_.issueWidth), sw);
+
+    // Clock tree: a fixed trunk plus load proportional to the ungated
+    // (or phantom-fired) share of total unit power.
+    double loadMax = 0.0, loadLive = 0.0;
+    for (size_t u = 0; u + 1 < kNumUnits; ++u) {
+        const double pm = pcfg_.pMax[u];
+        loadMax += pm;
+        const Unit uu = static_cast<Unit>(u);
+        bool gated = false;
+        bool phant = false;
+        if (uu == Unit::Fetch) {
+            gated = g.il1;
+            phant = ph.il1;
+        } else if (uu == Unit::Dl1) {
+            gated = g.dl1;
+            phant = ph.dl1;
+        } else if (uu == Unit::IntAlu || uu == Unit::IntMultDiv ||
+                   uu == Unit::FpAlu || uu == Unit::FpMultDiv) {
+            gated = g.fu;
+            phant = ph.fu;
+        }
+        if (!gated || phant)
+            loadLive += pm;
+    }
+    const double ungatedFrac = loadMax > 0.0 ? loadLive / loadMax : 1.0;
+    p[static_cast<size_t>(Unit::Clock)] =
+        pcfg_.pMax[static_cast<size_t>(Unit::Clock)] *
+        (pcfg_.clockFixedFrac + (1.0 - pcfg_.clockFixedFrac) * ungatedFrac);
+
+    double total = 0.0;
+    for (double v : p)
+        total += v;
+    return total;
+}
+
+double
+WattchModel::minPower() const
+{
+    ActivityVector av;
+    av.gates = {true, true, true};
+    av.phantom = {};
+    WattchModel scratch(*this);
+    return scratch.power(av);
+}
+
+double
+WattchModel::idlePower() const
+{
+    WattchModel scratch(*this);
+    return scratch.power(ActivityVector{});
+}
+
+double
+WattchModel::maxPower() const
+{
+    ActivityVector av;
+    av.gates = {};
+    av.phantom = {true, true, true};
+    av.issueActivity = 1.0f;
+    // Saturate every non-controllable structure too.
+    av.fetched = ccfg_.fetchWidth;
+    av.bpredLookups = ccfg_.fetchWidth;
+    av.dispatched = ccfg_.decodeWidth;
+    av.writebacks = ccfg_.issueWidth;
+    av.ruuOccupancy = ccfg_.ruuSize;
+    av.lsqOccupancy = ccfg_.lsqSize;
+    av.memPortsUsed = ccfg_.numMemPorts;
+    av.regReads = 2 * ccfg_.issueWidth;
+    av.regWrites = ccfg_.issueWidth;
+    av.dcacheAccesses = ccfg_.numMemPorts;
+    av.l2Accesses = 1;
+    av.busyIntAlu = ccfg_.numIntAlu;
+    av.busyIntMultDiv = ccfg_.numIntMultDiv;
+    av.busyFpAlu = ccfg_.numFpAlu;
+    av.busyFpMultDiv = ccfg_.numFpMultDiv;
+    WattchModel scratch(*this);
+    return scratch.power(av);
+}
+
+} // namespace vguard::power

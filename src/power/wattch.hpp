@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Wattch-style architectural power model (paper Section 3.1).
+ *
+ * Per-structure maximum dynamic powers are scaled for a 3 GHz / 1.0 V
+ * design (the paper tuned Wattch with ITRS scaling factors the same
+ * way). Each cycle the model maps the core's ActivityVector to watts:
+ *
+ *   P_unit = Pmax · gatedFrac                     if clock-gated
+ *   P_unit = Pmax · (idleFrac + (1-idleFrac)·a·s) otherwise
+ *
+ * where a is the unit's port/occupancy utilisation, s a data-dependent
+ * switching scale (the stressmark maximises it by operand choice), and
+ * the conditional-clocking idle fraction follows Wattch's cc3 style.
+ * Phantom-fired units run at full activity. Clock-tree power scales
+ * with the fraction of ungated load, so actuator gating also sheds
+ * clock power — the dominant dI/dt lever.
+ *
+ * Multi-cycle-op energy is spread over the op's duration because unit
+ * utilisation comes from per-cycle *busy* counts, not issue events
+ * (the paper's "spreading the energy of multiple cycle operations").
+ */
+
+#ifndef VGUARD_POWER_WATTCH_HPP
+#define VGUARD_POWER_WATTCH_HPP
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "cpu/activity.hpp"
+#include "cpu/config.hpp"
+
+namespace vguard::power {
+
+/** Modeled structures. */
+enum class Unit : uint8_t {
+    Fetch,      ///< I-cache + fetch datapath
+    Bpred,
+    Dispatch,   ///< decode/rename
+    Window,     ///< RUU wakeup/select
+    Lsq,
+    RegFile,
+    IntAlu,
+    IntMultDiv,
+    FpAlu,
+    FpMultDiv,
+    Dl1,
+    L2,
+    ResultBus,
+    Clock,
+    NumUnits
+};
+
+constexpr size_t kNumUnits = static_cast<size_t>(Unit::NumUnits);
+
+/** Human-readable unit name. */
+const char *unitName(Unit u);
+
+/** Per-structure parameters. */
+struct PowerConfig
+{
+    /** Max dynamic power per unit [W] at 3 GHz / 1.0 V. */
+    std::array<double, kNumUnits> pMax{
+        5.5,  // Fetch
+        1.8,  // Bpred
+        3.5,  // Dispatch
+        6.5,  // Window
+        2.5,  // Lsq
+        4.0,  // RegFile
+        7.2,  // IntAlu (8 units)
+        2.6,  // IntMultDiv (2 units)
+        5.2,  // FpAlu (4 units)
+        3.2,  // FpMultDiv (2 units)
+        6.0,  // Dl1
+        3.5,  // L2
+        2.5,  // ResultBus
+        7.5,  // Clock tree
+    };
+
+    double idleFrac = 0.10;      ///< cc3 ungated-idle fraction
+    double idleFracL2 = 0.05;    ///< L2 idles lower
+    double gatedFrac = 0.02;     ///< residual power when clock-gated
+    double clockFixedFrac = 0.35;///< clock power that never gates
+    double vdd = 1.0;            ///< supply [V] (current = P / vdd)
+
+    /** Switching-activity scale: s = sBase + sRange * issueActivity. */
+    double sBase = 0.6;
+    double sRange = 0.4;
+};
+
+/** Per-cycle power/current model. */
+class WattchModel
+{
+  public:
+    WattchModel(const PowerConfig &pcfg, const cpu::CpuConfig &ccfg);
+
+    /** Watts consumed in a cycle with the given activity. */
+    double power(const cpu::ActivityVector &av);
+
+    /** Amps drawn in a cycle with the given activity. */
+    double
+    current(const cpu::ActivityVector &av)
+    {
+        return power(av) / pcfg_.vdd;
+    }
+
+    /**
+     * Lowest reachable power: every actuator-controllable unit gated
+     * and no activity anywhere. This is the paper's "minimum power
+     * value" used to design thresholds and the target impedance.
+     */
+    double minPower() const;
+
+    /** Highest reachable power: phantom-fire everything, s = 1. */
+    double maxPower() const;
+
+    /**
+     * Ungated, zero-activity power — the floor a *program* can reach
+     * without actuator help (stalled on memory, everything idle but
+     * clocked).
+     */
+    double idlePower() const;
+
+    double minCurrent() const { return minPower() / pcfg_.vdd; }
+    double maxCurrent() const { return maxPower() / pcfg_.vdd; }
+    double idleCurrent() const { return idlePower() / pcfg_.vdd; }
+
+    /** Per-unit breakdown of the last power() call [W]. */
+    const std::array<double, kNumUnits> &
+    lastBreakdown() const
+    {
+        return last_;
+    }
+
+    const PowerConfig &config() const { return pcfg_; }
+
+  private:
+    double unitPower(Unit u, bool gated, bool phantom, double act,
+                     double sw) const;
+
+    PowerConfig pcfg_;
+    cpu::CpuConfig ccfg_;
+    std::array<double, kNumUnits> last_{};
+};
+
+} // namespace vguard::power
+
+#endif // VGUARD_POWER_WATTCH_HPP

@@ -1,0 +1,83 @@
+#include "util/logging.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace vguard {
+
+namespace {
+Verbosity g_verbosity = Verbosity::Normal;
+
+void
+vprint(FILE *to, const char *prefix, const char *fmt, va_list ap)
+{
+    std::fputs(prefix, to);
+    std::vfprintf(to, fmt, ap);
+    std::fputc('\n', to);
+}
+} // namespace
+
+void
+setVerbosity(Verbosity v)
+{
+    g_verbosity = v;
+}
+
+Verbosity
+verbosity()
+{
+    return g_verbosity;
+}
+
+void
+panic(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "panic: ", fmt, ap);
+    va_end(ap);
+    std::abort();
+}
+
+void
+fatal(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "fatal: ", fmt, ap);
+    va_end(ap);
+    std::exit(1);
+}
+
+void
+warn(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stderr, "warn: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+inform(const char *fmt, ...)
+{
+    if (g_verbosity == Verbosity::Quiet)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stdout, "info: ", fmt, ap);
+    va_end(ap);
+}
+
+void
+informDebug(const char *fmt, ...)
+{
+    if (g_verbosity != Verbosity::Debug)
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vprint(stdout, "debug: ", fmt, ap);
+    va_end(ap);
+}
+
+} // namespace vguard

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * A small, fast 64-bit generator (SplitMix64 seeded xoshiro256**) with
+ * convenience draws used across the library: uniform doubles, bounded
+ * integers, Bernoulli trials, and Gaussian noise (for the voltage-sensor
+ * error model of Section 4.5 of the paper).
+ *
+ * All simulations in vguard are reproducible: every stochastic component
+ * takes an explicit seed.
+ */
+
+#ifndef VGUARD_UTIL_RNG_HPP
+#define VGUARD_UTIL_RNG_HPP
+
+#include <cmath>
+#include <cstdint>
+
+namespace vguard {
+
+/** xoshiro256** PRNG with SplitMix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull) { reseed(seed); }
+
+    /** Re-initialise the state from a 64-bit seed. */
+    void
+    reseed(uint64_t seed)
+    {
+        // SplitMix64 expansion of the seed into four state words.
+        uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9e3779b97f4a7c15ull;
+            uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+            word = z ^ (z >> 31);
+        }
+        haveSpare_ = false;
+    }
+
+    /** Next raw 64-bit draw. */
+    uint64_t
+    next()
+    {
+        const uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform double in [lo, hi). */
+    double
+    uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    uint64_t
+    below(uint64_t n)
+    {
+        // Lemire's multiply-shift bounded draw (slightly biased for
+        // astronomically large n; fine for simulation use).
+        return static_cast<uint64_t>(
+            (static_cast<__uint128_t>(next()) * n) >> 64);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    chance(double p)
+    {
+        return uniform() < p;
+    }
+
+    /** Standard normal via Marsaglia polar method (cached spare). */
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u, v, s;
+        do {
+            u = uniform(-1.0, 1.0);
+            v = uniform(-1.0, 1.0);
+            s = u * u + v * v;
+        } while (s >= 1.0 || s == 0.0);
+        const double mul = std::sqrt(-2.0 * std::log(s) / s);
+        spare_ = v * mul;
+        haveSpare_ = true;
+        return u * mul;
+    }
+
+    /** Normal draw with the given mean and standard deviation. */
+    double
+    gaussian(double mean, double sigma)
+    {
+        return mean + sigma * gaussian();
+    }
+
+  private:
+    static uint64_t
+    rotl(uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    uint64_t state_[4] = {};
+    double spare_ = 0.0;
+    bool haveSpare_ = false;
+};
+
+} // namespace vguard
+
+#endif // VGUARD_UTIL_RNG_HPP

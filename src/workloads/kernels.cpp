@@ -1,0 +1,172 @@
+#include "workloads/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::workloads {
+
+using isa::Program;
+using isa::ProgramBuilder;
+
+namespace {
+
+void
+prologue(ProgramBuilder &b, uint64_t iterations)
+{
+    b.ldiq(7, 0x5555555555555555ll)
+        .ldiq(8, static_cast<int64_t>(0xaaaaaaaaaaaaaaaaull))
+        .ldiq(6, 1)
+        .ldiq(20, static_cast<int64_t>(iterations));
+}
+
+void
+epilogue(ProgramBuilder &b)
+{
+    b.subq(20, 20, 6);
+    b.bne(20, "top");
+    b.halt();
+}
+
+} // namespace
+
+Program
+busyKernel(uint64_t iterations)
+{
+    ProgramBuilder b;
+    prologue(b, iterations);
+    b.ldit(1, 1.5).ldit(2, 1.25);
+    b.label("top");
+    for (int i = 0; i < 24; ++i) {
+        const unsigned rd = 10 + (i % 10);
+        if (i % 2)
+            b.xor_(rd, 7, 8);
+        else
+            b.addq(rd, 8, 7);
+    }
+    for (int i = 0; i < 8; ++i)
+        b.mult(10 + (i % 8), 1, 2);
+    epilogue(b);
+    return b.build();
+}
+
+Program
+powerVirus(uint64_t iterations)
+{
+    ProgramBuilder b;
+    prologue(b, iterations);
+    b.ldit(1, 1.9990234375).ldit(2, 1.0009765625).ldiq(4, 0x8000);
+    b.label("top");
+    // Groups of eight independent ops chosen to co-occupy the int
+    // pipes, FP pipes and all four memory ports every cycle.
+    for (int g = 0; g < 16; ++g) {
+        b.xor_(10 + (g % 4), 7, 8);
+        b.addq(14 + (g % 4), 8, 7);
+        b.subq(18 + (g % 2), 7, 8);
+        b.mult(8 + (g % 4), 1, 2);
+        b.addt(12 + (g % 4), 1, 2);
+        b.stq((g % 2) ? 7 : 8, 4, 8 * (g % 8));
+        b.ldq(22, 4, 8 * ((g + 1) % 8));
+        b.ldq(23, 4, 64 + 8 * (g % 8));
+    }
+    epilogue(b);
+    return b.build();
+}
+
+Program
+stallKernel(uint64_t iterations)
+{
+    ProgramBuilder b;
+    prologue(b, iterations);
+    b.ldit(1, 1.9990234375).ldit(2, 1.0009765625);
+    b.label("top");
+    b.divt(3, 1, 2);
+    for (int i = 0; i < 4; ++i)
+        b.divt(3, 3, 2);
+    epilogue(b);
+    return b.build();
+}
+
+Program
+streamKernel(double footprintKB, uint64_t iterations)
+{
+    uint64_t bytes = 1;
+    while (bytes < static_cast<uint64_t>(
+                       std::max(4.0, footprintKB) * 1024.0))
+        bytes <<= 1;
+
+    ProgramBuilder b;
+    prologue(b, iterations);
+    b.ldiq(4, 0x2000000)
+        .ldiq(5, static_cast<int64_t>((bytes - 1) & ~7ull))
+        .ldiq(9, 64)
+        .bis(22, 4, 31);
+    b.label("top");
+    for (int i = 0; i < 8; ++i) {
+        b.ldq(10 + i, 22, 8 * i);
+        b.addq(12, 10 + i, 7);
+    }
+    // Advance one line and wrap within the footprint:
+    // ptr = base + ((ptr + 64 - base) & mask)
+    b.addq(22, 22, 9).subq(23, 22, 4).and_(23, 23, 5).addq(22, 23, 4);
+    epilogue(b);
+    return b.build();
+}
+
+Program
+phasedKernel(unsigned phaseCycles, uint64_t iterations)
+{
+    if (phaseCycles < 4)
+        fatal("phasedKernel: phaseCycles must be >= 4");
+    ProgramBuilder b;
+    prologue(b, iterations);
+    b.ldit(1, 1.9990234375).ldit(2, 1.0009765625);
+    b.label("top");
+    // Quiet phase: dependent divides covering ~phaseCycles.
+    const unsigned divs =
+        std::max(1u, static_cast<unsigned>(std::lround(
+                         static_cast<double>(phaseCycles) / 12.0)));
+    b.divt(3, 1, 2);
+    for (unsigned i = 1; i < divs; ++i)
+        b.divt(3, 3, 2);
+    // Burst phase: ~6 independent ops per cycle for ~phaseCycles.
+    const unsigned ops = 6 * phaseCycles;
+    for (unsigned i = 0; i < ops; ++i) {
+        const unsigned rd = 10 + (i % 12);
+        if (i % 2)
+            b.xor_(rd, 7, 8);
+        else
+            b.addq(rd, 8, 7);
+    }
+    epilogue(b);
+    return b.build();
+}
+
+Program
+wakeupKernel(unsigned burstOps, uint64_t iterations)
+{
+    ProgramBuilder b;
+    prologue(b, iterations);
+    b.ldiq(9, 4096)          // address stride (never revisited)
+        .ldiq(22, 0x40000000);
+    b.label("top");
+    // Serialised memory miss: the next address depends on this load's
+    // (always zero) result, so misses cannot overlap.
+    b.ldq(24, 22, 0);
+    b.and_(25, 24, 31);      // 0, dependent on the load
+    b.addq(22, 22, 9);
+    b.addq(22, 22, 25);
+    // Wake-up burst, gated on the returning load.
+    for (unsigned i = 0; i < burstOps; ++i) {
+        const unsigned rd = 10 + (i % 10);
+        if (i % 2)
+            b.xor_(rd, 24, 8);
+        else
+            b.addq(rd, 24, 7);
+    }
+    epilogue(b);
+    return b.build();
+}
+
+} // namespace vguard::workloads

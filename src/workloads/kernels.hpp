@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Small canonical kernels used by tests, examples and benches: steady
+ * high-ILP compute, a stall-bound loop, a streaming memory walker and
+ * a step-function workload (idle → burst) that recreates the paper's
+ * "memory request returns and the machine wakes up" current step.
+ */
+
+#ifndef VGUARD_WORKLOADS_KERNELS_HPP
+#define VGUARD_WORKLOADS_KERNELS_HPP
+
+#include <cstdint>
+
+#include "isa/program.hpp"
+
+namespace vguard::workloads {
+
+/** Dense independent integer/FP work: sustained high current. */
+isa::Program busyKernel(uint64_t iterations = 1ull << 40);
+
+/**
+ * Power virus: saturates as many structures as the 8-wide machine can
+ * sustain simultaneously (int + FP pipelines, all memory ports,
+ * maximum-toggle operands). Used to measure the *program-reachable*
+ * maximum current, the paper's "maximum power value".
+ */
+isa::Program powerVirus(uint64_t iterations = 1ull << 40);
+
+/** Serialised long-latency divides: sustained low current. */
+isa::Program stallKernel(uint64_t iterations = 1ull << 40);
+
+/**
+ * Streaming loads over @p footprintKB of memory: steady mid current
+ * with periodic miss stalls.
+ */
+isa::Program streamKernel(double footprintKB,
+                          uint64_t iterations = 1ull << 40);
+
+/**
+ * Alternating quiet/burst phases of roughly @p phaseCycles each — a
+ * square-ish current wave for controller studies at arbitrary
+ * (non-resonant) periods.
+ */
+isa::Program phasedKernel(unsigned phaseCycles,
+                          uint64_t iterations = 1ull << 40);
+
+/**
+ * The paper's Section 2.3 wake-up scenario: the machine idles on a
+ * serialised main-memory miss (~300 cycles), then the returning load
+ * releases a dense burst — a sharp low→high current step each
+ * iteration. Addresses never repeat, so every iteration misses all the
+ * way to memory.
+ *
+ * @param burstOps Independent ALU ops released by each returning load.
+ */
+isa::Program wakeupKernel(unsigned burstOps = 160,
+                          uint64_t iterations = 1ull << 40);
+
+} // namespace vguard::workloads
+
+#endif // VGUARD_WORKLOADS_KERNELS_HPP

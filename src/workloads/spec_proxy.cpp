@@ -1,0 +1,368 @@
+#include "workloads/spec_proxy.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace vguard::workloads {
+
+using isa::Program;
+using isa::ProgramBuilder;
+
+namespace {
+
+// Register conventions inside generated proxies:
+//   r1      LCG state            r2, r3   LCG constants
+//   r4      data base            r5       working-set mask
+//   r6      constant 1           r7, r8   toggle patterns
+//   r10-r18 int compute pool     r20      iteration counter
+//   r22     address scratch      r23      branch-bit scratch
+//   r24     load destination     r25      shift amount
+//   r28     fp→int phase bridge  r29      burst tail (loop carried)
+//   r30     tail zero bridge
+//   f1-f4   fp constants         f10-f18  fp compute pool
+//   f20     stall-chain result   f21      stall-chain seed
+//   f22/f23 int→fp phase bridge  f30      stall divisor
+
+uint64_t
+roundUpPow2(uint64_t v)
+{
+    uint64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+/** Emission context for one proxy. */
+struct Gen
+{
+    ProgramBuilder b;
+    vguard::Rng rng;
+    const SpecProfile &p;
+    unsigned intChainPos = 0;
+    unsigned fpChainPos = 0;
+    unsigned intReg = 0;
+    unsigned fpReg = 0;
+    unsigned branchLabel = 0;
+    unsigned memCount = 0;
+
+    explicit Gen(const SpecProfile &profile, uint64_t seed)
+        : rng(seed), p(profile)
+    {
+    }
+
+    /** When set, new compute chains source the phase-bridge registers
+     * (r28 / f20), gating the burst on the stall phase. */
+    bool gatedBurst = false;
+
+    void
+    emitIntOp()
+    {
+        const bool chain = intChainPos + 1 < p.depChainLen;
+        const unsigned rd = 10 + (intReg % 9);
+        const unsigned src =
+            chain ? rd : (gatedBurst ? 28u : (rng.chance(0.5) ? 7u : 8u));
+        switch (rng.below(4)) {
+          case 0: b.addq(rd, src, 8); break;
+          case 1: b.xor_(rd, src, 7); break;
+          case 2: b.subq(rd, src, 8); break;
+          default: b.bis(rd, src, 7); break;
+        }
+        if (chain) {
+            ++intChainPos;
+        } else {
+            intChainPos = 0;
+            ++intReg;
+        }
+    }
+
+    void
+    emitFpOp()
+    {
+        const bool chain = fpChainPos + 1 < p.depChainLen;
+        const unsigned fd = 10 + (fpReg % 9);
+        const unsigned src =
+            chain ? fd
+                  : (gatedBurst ? 20u
+                                : 1 + static_cast<unsigned>(rng.below(4)));
+        switch (rng.below(3)) {
+          case 0: b.addt(fd, src, 2); break;
+          case 1: b.mult(fd, src, 1); break;
+          default: b.subt(fd, src, 3); break;
+        }
+        if (chain) {
+            ++fpChainPos;
+        } else {
+            fpChainPos = 0;
+            ++fpReg;
+        }
+    }
+
+    void
+    refreshAddress()
+    {
+        b.mulq(1, 1, 2).addq(1, 1, 3);     // LCG step
+        b.and_(22, 1, 5).addq(22, 22, 4);  // masked pointer
+    }
+
+    void
+    emitMemOp()
+    {
+        if (memCount % 4 == 0)
+            refreshAddress();
+        const int64_t disp = 8 * static_cast<int64_t>(memCount % 8);
+        const bool store = rng.chance(0.35);
+        if (p.floatingPoint && rng.chance(p.fpFraction)) {
+            if (store)
+                b.stt(10 + (fpReg % 9), 22, disp);
+            else
+                b.ldt(10 + (fpReg % 9), 22, disp);
+        } else {
+            if (store)
+                b.stq(rng.chance(0.5) ? 7 : 8, 22, disp);
+            else
+                b.ldq(24, 22, disp);
+        }
+        ++memCount;
+    }
+
+    void
+    emitRandomBranch()
+    {
+        char label[32];
+        std::snprintf(label, sizeof(label), ".rb%u", branchLabel++);
+        b.srl(23, 1, 25).and_(23, 23, 6);
+        b.beq(23, label);
+        b.xor_(11, 7, 8); // taken-path filler
+        b.label(label);
+    }
+
+    void
+    emitStallBlock()
+    {
+        if (p.stallDivs > 0) {
+            if (p.phaseContrast >= 0.5) {
+                // Phase-separated mode: the stall chain is gated on the
+                // previous iteration's burst tail (r29), and its result
+                // (f20) gates the burst — otherwise the 256-entry
+                // window overlaps the phases and flattens the current
+                // square wave.
+                b.and_(30, 29, 31);   // 0, depends on the tail
+                b.cvtqt(22, 30);      // f22 = 0.0, carries dependence
+                b.addt(23, 21, 22);   // f23 = seed
+                b.divt(20, 23, 30);
+            } else {
+                b.divt(20, 21, 30);
+            }
+            for (unsigned i = 1; i < p.stallDivs; ++i)
+                b.divt(20, 20, 30);
+        }
+        for (unsigned i = 0; i < p.stallLoads; ++i) {
+            refreshAddress();
+            b.ldq(24, 22, 0);
+            // Serialise the next address on this load: the classic
+            // memory-bound dependence (mcf/ammp/art behaviour).
+            b.addq(1, 1, 24);
+        }
+    }
+};
+
+const std::vector<SpecProfile> &
+profileTable()
+{
+    // name, fp?, fpFrac, memFrac, randBr, wsKB, dep, burst, divs,
+    // ldchase, contrast, calls
+    static const std::vector<SpecProfile> table = {
+        // ---- SPECint ------------------------------------------------
+        {"gzip", false, 0.0, 0.30, 0.02, 256, 2, 24, 0, 0, 0.30, false},
+        {"vpr", false, 0.0, 0.30, 0.06, 512, 3, 20, 0, 0, 0.30, false},
+        {"gcc", false, 0.0, 0.30, 0.10, 2048, 2, 120, 1, 0, 0.60, true},
+        {"mcf", false, 0.0, 0.40, 0.04, 16384, 2, 12, 0, 4, 0.20, false},
+        {"crafty", false, 0.0, 0.25, 0.05, 128, 2, 28, 0, 0, 0.30, false},
+        {"parser", false, 0.0, 0.35, 0.08, 1024, 3, 16, 0, 0, 0.30,
+         false},
+        {"eon", false, 0.15, 0.30, 0.03, 128, 2, 140, 1, 0, 0.55, true},
+        {"perlbmk", false, 0.0, 0.30, 0.06, 512, 2, 24, 0, 0, 0.35,
+         true},
+        {"gap", false, 0.0, 0.30, 0.04, 1024, 2, 24, 0, 0, 0.30, false},
+        {"vortex", false, 0.0, 0.35, 0.05, 2048, 2, 24, 0, 0, 0.35,
+         true},
+        {"bzip2", false, 0.0, 0.35, 0.05, 4096, 2, 20, 0, 0, 0.30,
+         false},
+        {"twolf", false, 0.0, 0.30, 0.07, 512, 2, 20, 0, 0, 0.30, false},
+        // ---- SPECfp -------------------------------------------------
+        {"wupwise", true, 0.50, 0.30, 0.0, 1024, 2, 28, 1, 0, 0.40,
+         false},
+        {"swim", true, 0.55, 0.40, 0.0, 8192, 2, 130, 2, 0, 0.70, false},
+        {"mgrid", true, 0.60, 0.40, 0.0, 4096, 2, 140, 2, 0, 0.60, false},
+        {"applu", true, 0.60, 0.35, 0.0, 4096, 2, 140, 2, 0, 0.60, false},
+        {"mesa", true, 0.40, 0.30, 0.02, 512, 2, 24, 0, 0, 0.30, false},
+        {"galgel", true, 0.60, 0.30, 0.0, 1024, 2, 150, 2, 0, 0.85,
+         false},
+        {"art", true, 0.40, 0.45, 0.0, 16384, 2, 10, 0, 4, 0.15, false},
+        {"equake", true, 0.45, 0.40, 0.02, 4096, 2, 16, 0, 2, 0.30,
+         false},
+        {"facerec", true, 0.50, 0.30, 0.0, 2048, 2, 150, 2, 0, 0.60,
+         false},
+        {"ammp", true, 0.40, 0.45, 0.0, 32768, 2, 8, 0, 6, 0.10, false},
+        {"lucas", true, 0.55, 0.30, 0.0, 4096, 2, 24, 1, 0, 0.40, false},
+        {"fma3d", true, 0.50, 0.30, 0.01, 2048, 2, 24, 1, 0, 0.40,
+         false},
+        {"sixtrack", true, 0.55, 0.30, 0.0, 1024, 2, 150, 2, 0, 0.65,
+         false},
+        {"apsi", true, 0.50, 0.30, 0.01, 2048, 2, 24, 1, 0, 0.40, false},
+    };
+    return table;
+}
+
+} // namespace
+
+const std::vector<std::string> &
+specBenchmarkNames()
+{
+    static const std::vector<std::string> names = [] {
+        std::vector<std::string> v;
+        for (const auto &p : profileTable())
+            v.push_back(p.name);
+        return v;
+    }();
+    return names;
+}
+
+const std::vector<std::string> &
+emergencySetNames()
+{
+    static const std::vector<std::string> names = {
+        "swim", "mgrid", "gcc",      "galgel",
+        "facerec", "sixtrack", "eon", "applu",
+    };
+    return names;
+}
+
+const SpecProfile &
+specProfile(const std::string &name)
+{
+    for (const auto &p : profileTable())
+        if (p.name == name)
+            return p;
+    fatal("specProfile: unknown benchmark '%s'", name.c_str());
+}
+
+Program
+buildSpecProxy(const SpecProfile &p, uint64_t seed, uint64_t iterations)
+{
+    Gen g(p, seed);
+    auto &b = g.b;
+
+    // ---- static setup ---------------------------------------------
+    const uint64_t wsBytes = roundUpPow2(static_cast<uint64_t>(
+        std::max(4.0, p.workingSetKB) * 1024.0));
+    const int64_t mask = static_cast<int64_t>((wsBytes - 1) & ~7ull);
+
+    b.ldiq(1, static_cast<int64_t>(seed | 1))
+        .ldiq(2, 6364136223846793005ll)
+        .ldiq(3, 1442695040888963407ll)
+        .ldiq(4, 0x1000000)
+        .ldiq(5, mask)
+        .ldiq(6, 1)
+        .ldiq(7, 0x5555555555555555ll)
+        .ldiq(8, static_cast<int64_t>(0xaaaaaaaaaaaaaaaaull))
+        .ldiq(25, 37)
+        .ldiq(20, static_cast<int64_t>(iterations));
+    b.ldit(1, 1.4142135623730951)
+        .ldit(2, 1.0009765625)
+        .ldit(3, 0.9990234375)
+        .ldit(4, 1.7320508075688772)
+        .ldit(21, 1.6180339887498949)
+        .ldit(30, 1.0009765625);
+    b.and_(22, 1, 5).addq(22, 22, 4); // initial pointer
+
+    b.label("top");
+
+    // ---- instruction budget ----------------------------------------
+    const unsigned burst = std::max(4u, p.burstOps);
+    const unsigned memOps = std::max(
+        1u, static_cast<unsigned>(std::lround(burst * p.memFraction)));
+    const unsigned branches = static_cast<unsigned>(
+        std::lround(burst * p.randomBranchFraction));
+
+    auto emitCompute = [&] {
+        if (p.floatingPoint && g.rng.chance(p.fpFraction))
+            g.emitFpOp();
+        else
+            g.emitIntOp();
+    };
+
+    if (p.phaseContrast >= 0.5) {
+        // Square-wave-like: a quiet stall phase, then everything else
+        // packed into one dense burst gated on the stall result; the
+        // burst tail (r29) feeds the next iteration's stall phase.
+        g.emitStallBlock();
+        b.stt(20, 4, 0x78);   // fp→int bridge for integer burst ops
+        b.ldq(28, 4, 0x78);
+        // Gate the LCG (and hence all address generation) on the stall
+        // result so the memory block also lands in the high phase.
+        b.and_(27, 28, 31);
+        b.addq(1, 1, 27);
+        g.gatedBurst = true;
+        for (unsigned i = 0; i < memOps; ++i)
+            g.emitMemOp();
+        if (p.useCalls)
+            b.call("work");
+        for (unsigned i = 0; i < burst; ++i)
+            emitCompute();
+        for (unsigned i = 0; i < branches; ++i)
+            g.emitRandomBranch();
+        g.gatedBurst = false;
+        b.xor_(29, 28, 10 + ((burst ? burst - 1 : 0) % 9) + 0);
+    } else {
+        // Uniform: round-robin interleave of everything.
+        g.emitStallBlock();
+        if (p.useCalls)
+            b.call("work");
+        unsigned mi = 0, bi = 0;
+        for (unsigned i = 0; i < burst; ++i) {
+            emitCompute();
+            if (mi < memOps && i % std::max(1u, burst / memOps) == 0) {
+                g.emitMemOp();
+                ++mi;
+            }
+            if (bi < branches &&
+                i % std::max(1u, burst / std::max(1u, branches)) == 1) {
+                g.emitRandomBranch();
+                ++bi;
+            }
+        }
+        while (mi++ < memOps)
+            g.emitMemOp();
+    }
+
+    b.subq(20, 20, 6);
+    b.bne(20, "top");
+    b.halt();
+
+    if (p.useCalls) {
+        // A small leaf routine: exercises CALL/RET and the RAS.
+        b.label("work");
+        b.xor_(12, 7, 8).addq(13, 12, 6).bis(14, 13, 7);
+        b.ret();
+    }
+    return b.build();
+}
+
+Program
+buildSpecProxy(const std::string &name)
+{
+    const SpecProfile &p = specProfile(name);
+    // Stable per-benchmark seed derived from the name.
+    uint64_t seed = 0xcbf29ce484222325ull;
+    for (char c : name)
+        seed = (seed ^ static_cast<unsigned char>(c)) *
+               0x100000001b3ull;
+    return buildSpecProxy(p, seed);
+}
+
+} // namespace vguard::workloads

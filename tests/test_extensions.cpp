@@ -1,0 +1,324 @@
+/**
+ * @file
+ * Tests for the Section-6 extensions: issue-limit throttling, the
+ * P-I-D controller, and asymmetric gate/phantom actuation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "core/actuator.hpp"
+#include "core/experiments.hpp"
+#include "core/pid_controller.hpp"
+#include "core/trace.hpp"
+#include "core/voltage_sim.hpp"
+#include "cpu/core.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/stressmark.hpp"
+
+namespace {
+
+using namespace vguard;
+using namespace vguard::core;
+
+// -------------------------------------------------------- issue limit
+
+TEST(IssueLimit, CapsThroughput)
+{
+    cpu::CpuConfig cfg;
+    cpu::OoOCore fast(cfg, workloads::busyKernel(2000));
+    cpu::OoOCore slow(cfg, workloads::busyKernel(2000));
+    slow.setIssueLimit(2);
+    while (!fast.halted() && fast.now() < 500000)
+        fast.cycle();
+    while (!slow.halted() && slow.now() < 500000)
+        slow.cycle();
+    ASSERT_TRUE(fast.halted());
+    ASSERT_TRUE(slow.halted());
+    EXPECT_EQ(fast.stats().committed, slow.stats().committed);
+    EXPECT_GT(slow.stats().cycles, 2 * fast.stats().cycles);
+    // With a 2-wide cap, IPC cannot exceed 2.
+    EXPECT_LE(slow.stats().ipc(), 2.0 + 1e-9);
+}
+
+TEST(IssueLimit, ZeroBlocksIssueEntirely)
+{
+    cpu::CpuConfig cfg;
+    cpu::OoOCore core(cfg, workloads::busyKernel(100));
+    core.setIssueLimit(0);
+    for (int i = 0; i < 200; ++i)
+        core.cycle();
+    EXPECT_EQ(core.stats().issued, 0u);
+    // Releasing the limit lets everything complete.
+    core.setIssueLimit(~0u);
+    while (!core.halted() && core.now() < 200000)
+        core.cycle();
+    EXPECT_TRUE(core.halted());
+}
+
+TEST(IssueLimit, AboveWidthIsNoOp)
+{
+    cpu::CpuConfig cfg;
+    cpu::OoOCore a(cfg, workloads::busyKernel(500));
+    cpu::OoOCore b(cfg, workloads::busyKernel(500));
+    b.setIssueLimit(1000);
+    while (!a.halted())
+        a.cycle();
+    while (!b.halted())
+        b.cycle();
+    EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+}
+
+// ---------------------------------------------------------------- PID
+
+TEST(Pid, RejectsBadConfig)
+{
+    PidConfig pc;
+    EXPECT_EXIT(PidController(pc, 0), ::testing::ExitedWithCode(1),
+                "width");
+    pc.band = 0.0;
+    EXPECT_EXIT(PidController(pc, 8), ::testing::ExitedWithCode(1),
+                "band");
+}
+
+TEST(Pid, QuietAtSetpoint)
+{
+    PidConfig pc;
+    pc.sensorDelay = 0;
+    pc.computeDelay = 0;
+    PidController pid(pc, 8);
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    for (int i = 0; i < 100; ++i)
+        pid.step(1.0, core); // comfortably above the 0.972 setpoint
+    EXPECT_EQ(pid.gatedCycles(), 0u);
+    EXPECT_EQ(pid.phantomCycles(), 0u);
+    EXPECT_EQ(core.issueLimit(), 8u);
+}
+
+TEST(Pid, SaturatesLowOnDeepSag)
+{
+    PidConfig pc;
+    pc.sensorDelay = 0;
+    pc.computeDelay = 0;
+    PidController pid(pc, 8);
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    for (int i = 0; i < 20; ++i)
+        pid.step(0.93, core);
+    EXPECT_GT(pid.gatedCycles(), 0u);
+    EXPECT_TRUE(core.gates().fu);
+    EXPECT_EQ(core.issueLimit(), 0u);
+}
+
+TEST(Pid, PhantomOnOvershoot)
+{
+    PidConfig pc;
+    pc.sensorDelay = 0;
+    pc.computeDelay = 0;
+    PidController pid(pc, 8);
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    for (int i = 0; i < 50; ++i)
+        pid.step(1.06, core);
+    EXPECT_GT(pid.phantomCycles(), 0u);
+}
+
+TEST(Pid, ProportionalRegionThrottlesPartially)
+{
+    PidConfig pc;
+    pc.sensorDelay = 0;
+    pc.computeDelay = 0;
+    pc.ki = 0.0; // isolate the P term
+    pc.kd = 0.0;
+    PidController pid(pc, 8);
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    pid.step(0.9665, core); // mild sag below the 0.972 setpoint
+    EXPECT_GT(core.issueLimit(), 0u);
+    EXPECT_LT(core.issueLimit(), 8u);
+    EXPECT_EQ(pid.throttledCycles(), 1u);
+}
+
+TEST(Pid, DelayLineAgesReadings)
+{
+    PidConfig pc;
+    pc.sensorDelay = 2;
+    pc.computeDelay = 2;
+    pc.ki = 0.0;
+    pc.kd = 0.0;
+    PidController pid(pc, 8);
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    // A deep sag must not be acted on until 4 cycles later.
+    pid.step(0.90, core);
+    EXPECT_EQ(core.issueLimit(), 8u);
+    pid.step(1.0, core);
+    pid.step(1.0, core);
+    pid.step(1.0, core);
+    pid.step(1.0, core); // now the 0.90 reading arrives
+    EXPECT_LT(core.issueLimit(), 8u);
+}
+
+TEST(Pid, ProtectsStressmark)
+{
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        60, referenceMachine().cpu);
+    RunSpec rs;
+    rs.impedanceScale = 2.0;
+    rs.controllerEnabled = false;
+    VoltageSim sim(makeSimConfig(rs),
+                   workloads::StressmarkBuilder::build(cal.params));
+    PidConfig pc;
+    pc.sensorDelay = 1;
+    PidController pid(pc, referenceMachine().cpu.issueWidth);
+    double vMin = 2.0;
+    for (int i = 0; i < 60000; ++i) {
+        const auto s = sim.step();
+        pid.step(s.volts, sim.core());
+        vMin = std::min(vMin, s.volts);
+    }
+    EXPECT_GE(vMin, 0.95);
+}
+
+// --------------------------------------------------------- asymmetric
+
+TEST(Asymmetric, DistinctMasks)
+{
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    Actuator act(ActuatorKind::FuDl1Il1, ActuatorKind::Fu);
+    act.apply(VoltageLevel::Low, core);
+    EXPECT_TRUE(core.gates().il1); // coarse gate set
+    act.apply(VoltageLevel::High, core);
+    EXPECT_FALSE(core.gates().any());
+    // Phantom uses only the FU set.
+    EXPECT_EQ(act.phantomKind(), ActuatorKind::Fu);
+    EXPECT_EQ(act.gateKind(), ActuatorKind::FuDl1Il1);
+}
+
+TEST(Asymmetric, SymmetricCtorMatches)
+{
+    Actuator a(ActuatorKind::FuDl1);
+    EXPECT_EQ(a.gateKind(), a.phantomKind());
+}
+
+// ------------------------------------------------------------- trace
+
+TEST(Trace, RecordsAndSummarises)
+{
+    RunSpec rs;
+    rs.impedanceScale = 2.0;
+    rs.controllerEnabled = false;
+    VoltageSim sim(makeSimConfig(rs), workloads::busyKernel());
+    TraceRecorder rec(4096);
+    rec.capture(sim, 2000);
+    EXPECT_EQ(rec.size(), 2000u);
+    const auto sum = rec.summary();
+    EXPECT_GT(sum.meanAmps, 5.0);
+    EXPECT_GE(sum.peakAmps, sum.meanAmps);
+    EXPECT_LT(sum.minV, sum.maxV);
+    EXPECT_EQ(sum.gatedCycles, 0u);
+}
+
+TEST(Trace, RingKeepsNewestSamples)
+{
+    TraceRecorder rec(10);
+    for (uint64_t c = 0; c < 25; ++c) {
+        TraceSample s;
+        s.cycle = c;
+        rec.record(s);
+    }
+    EXPECT_EQ(rec.size(), 10u);
+    EXPECT_EQ(rec.at(0).cycle, 15u); // oldest retained
+    EXPECT_EQ(rec.at(9).cycle, 24u); // newest
+    const auto lin = rec.linearised();
+    for (size_t i = 1; i < lin.size(); ++i)
+        EXPECT_EQ(lin[i].cycle, lin[i - 1].cycle + 1);
+}
+
+TEST(Trace, CsvFormatAndStride)
+{
+    TraceRecorder rec(16);
+    for (uint64_t c = 0; c < 8; ++c) {
+        TraceSample s;
+        s.cycle = c;
+        s.amps = 10.0 + c;
+        s.volts = 1.0;
+        s.gated = c % 2 == 0;
+        rec.record(s);
+    }
+    const std::string csv = rec.csv(2);
+    EXPECT_NE(csv.find("cycle,amps,volts,gated,phantom"),
+              std::string::npos);
+    // Header + 4 decimated rows.
+    EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 5);
+    EXPECT_NE(csv.find("0,10.0000,1.000000,1,0"), std::string::npos);
+}
+
+TEST(Trace, WriteCsvRoundTrip)
+{
+    TraceRecorder rec(8);
+    TraceSample s;
+    s.cycle = 3;
+    s.amps = 20.0;
+    s.volts = 0.98;
+    rec.record(s);
+    const std::string path = "/tmp/vguard_trace_test.csv";
+    rec.writeCsv(path);
+    FILE *f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[256] = {};
+    const size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_GT(n, 10u);
+    EXPECT_NE(std::string(buf).find("3,20.0000"), std::string::npos);
+}
+
+TEST(Trace, ClearResets)
+{
+    TraceRecorder rec(4);
+    rec.record(TraceSample{});
+    rec.clear();
+    EXPECT_TRUE(rec.empty());
+}
+
+// ------------------------------------------------------ wakeup kernel
+
+TEST(WakeupKernel, SerialisedMissesThenBursts)
+{
+    cpu::CpuConfig cfg;
+    cpu::OoOCore core(cfg, workloads::wakeupKernel(160, 40));
+    power::WattchModel pm(power::PowerConfig{}, cfg);
+    uint64_t lowCycles = 0, highCycles = 0;
+    while (!core.halted() && core.now() < 200000) {
+        const double amps = pm.current(core.cycle());
+        lowCycles += amps < 16.0;
+        highCycles += amps > 26.0;
+    }
+    ASSERT_TRUE(core.halted());
+    // Memory-dominated: most cycles idle, with real bursts present.
+    EXPECT_GT(lowCycles, 6u * highCycles);
+    EXPECT_GT(highCycles, 200u);
+    // Every iteration misses to memory (addresses never repeat).
+    EXPECT_GE(core.mem().dl1().stats().misses, 40u);
+    EXPECT_GE(core.mem().l2().stats().misses, 40u);
+}
+
+TEST(Asymmetric, ProtectsWithWeakPhantom)
+{
+    // Gate with the full set, phantom with FU only, on a package where
+    // the high side binds (tight pinned vHigh).
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        60, referenceMachine().cpu);
+    RunSpec rs;
+    rs.impedanceScale = 3.0;
+    rs.delayCycles = 2;
+    rs.actuator = ActuatorKind::FuDl1Il1;
+    auto cfg = makeSimConfig(rs);
+    cfg.phantomActuator = ActuatorKind::Fu;
+    cfg.sensor->vHigh = 1.017;
+    VoltageSim sim(cfg,
+                   workloads::StressmarkBuilder::build(cal.params));
+    const auto res = sim.run(60000);
+    EXPECT_EQ(res.emergencyCycles(), 0u);
+    EXPECT_GT(res.phantomCycles, 0u);
+}
+
+} // namespace

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Unit tests for the runtime-sized small-matrix toolkit (MatN) and the
+ * N-state ZOH discretisation used by the third-order PDN model.
+ */
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "linsys/matn.hpp"
+
+namespace {
+
+using namespace vguard::linsys;
+
+MatN
+fromRows(const std::vector<std::vector<double>> &rows)
+{
+    MatN m(static_cast<unsigned>(rows.size()));
+    for (unsigned i = 0; i < m.size(); ++i)
+        for (unsigned j = 0; j < m.size(); ++j)
+            m.at(i, j) = rows[i][j];
+    return m;
+}
+
+TEST(MatN, IdentityAndAccess)
+{
+    const MatN id = MatN::identity(3);
+    EXPECT_DOUBLE_EQ(id.at(0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(id.at(1, 2), 0.0);
+    EXPECT_EQ(id.size(), 3u);
+}
+
+TEST(MatN, Arithmetic)
+{
+    const MatN a = fromRows({{1, 2}, {3, 4}});
+    const MatN b = fromRows({{5, 6}, {7, 8}});
+    const MatN sum = a + b;
+    EXPECT_DOUBLE_EQ(sum.at(0, 0), 6.0);
+    const MatN prod = a * b;
+    EXPECT_DOUBLE_EQ(prod.at(0, 0), 19.0);
+    EXPECT_DOUBLE_EQ(prod.at(1, 1), 50.0);
+    const MatN scaled = a * 2.0;
+    EXPECT_DOUBLE_EQ(scaled.at(1, 0), 6.0);
+    const MatN diff = b - a;
+    EXPECT_DOUBLE_EQ(diff.at(0, 1), 4.0);
+}
+
+TEST(MatN, Apply)
+{
+    const MatN a = fromRows({{1, 2}, {3, 4}});
+    const auto y = a.apply({1.0, -1.0});
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], -1.0);
+}
+
+TEST(MatN, InverseRoundTrip3x3)
+{
+    const MatN a = fromRows({{2, 1, 0}, {1, 3, 1}, {0, 1, 4}});
+    const MatN id = a * a.inverse();
+    for (unsigned i = 0; i < 3; ++i)
+        for (unsigned j = 0; j < 3; ++j)
+            EXPECT_NEAR(id.at(i, j), i == j ? 1.0 : 0.0, 1e-12);
+}
+
+TEST(MatN, InverseNeedsPivoting)
+{
+    // Zero on the diagonal forces a row swap.
+    const MatN a = fromRows({{0, 1}, {1, 0}});
+    const MatN inv = a.inverse();
+    EXPECT_DOUBLE_EQ(inv.at(0, 1), 1.0);
+    EXPECT_DOUBLE_EQ(inv.at(0, 0), 0.0);
+}
+
+TEST(MatN, ExpmDiagonal)
+{
+    const MatN m = fromRows({{1.0, 0.0}, {0.0, -2.0}});
+    const MatN e = expm(m);
+    EXPECT_NEAR(e.at(0, 0), std::exp(1.0), 1e-12);
+    EXPECT_NEAR(e.at(1, 1), std::exp(-2.0), 1e-12);
+    EXPECT_NEAR(e.at(0, 1), 0.0, 1e-13);
+}
+
+TEST(MatN, ExpmRotation3x3Block)
+{
+    // Rotation block + isolated decay.
+    const double w = 2.0;
+    const MatN m = fromRows({{0, -w, 0}, {w, 0, 0}, {0, 0, -1}});
+    const MatN e = expm(m);
+    EXPECT_NEAR(e.at(0, 0), std::cos(w), 1e-12);
+    EXPECT_NEAR(e.at(1, 0), std::sin(w), 1e-12);
+    EXPECT_NEAR(e.at(2, 2), std::exp(-1.0), 1e-12);
+}
+
+TEST(MatN, SpectralRadiusDiagonal)
+{
+    const MatN m = fromRows({{0.5, 0.0}, {0.0, -0.9}});
+    EXPECT_NEAR(m.spectralRadiusEstimate(), 0.9, 1e-3);
+}
+
+TEST(MatN, SpectralRadiusComplexPair)
+{
+    // Scaled rotation: eigenvalues 0.8 e^{±i}.
+    const double r = 0.8, th = 1.0;
+    const MatN m = fromRows({{r * std::cos(th), -r * std::sin(th)},
+                             {r * std::sin(th), r * std::cos(th)}});
+    EXPECT_NEAR(m.spectralRadiusEstimate(), 0.8, 1e-3);
+}
+
+TEST(MatN, SpectralRadiusBadlyScaled)
+{
+    // Similar to diag(1e6, 1e-6)-conjugated contraction: the balanced
+    // estimate must not blow up.
+    const double r = 0.99;
+    MatN m = fromRows({{r, 1e6 * 0.001}, {0.0, 0.5}});
+    EXPECT_NEAR(m.spectralRadiusEstimate(), r, 1e-2);
+}
+
+TEST(MatN, RejectsBadSize)
+{
+    EXPECT_DEATH({ MatN m(0); (void)m; }, "");
+}
+
+StateSpaceN
+doubleLag()
+{
+    // Two cascaded unit lags driven by a single input:
+    //   x0' = -x0 + u, x1' = -x1 + x0, y = x1.
+    StateSpaceN ss(2, 1);
+    ss.a.at(0, 0) = -1.0;
+    ss.a.at(1, 0) = 1.0;
+    ss.a.at(1, 1) = -1.0;
+    ss.b[0] = 1.0;
+    ss.c = {0.0, 1.0};
+    ss.d = {0.0};
+    return ss;
+}
+
+TEST(StateSpaceN, ZohStepConvergesToDcGain)
+{
+    const auto dss = DiscreteStateSpaceN::zoh(doubleLag(), 0.01);
+    std::vector<double> x{0.0, 0.0};
+    const std::vector<double> u{2.0};
+    for (int i = 0; i < 5000; ++i)
+        dss.next(x, u);
+    EXPECT_NEAR(dss.output(x, u), 2.0, 1e-6); // unit DC gain * 2
+}
+
+TEST(StateSpaceN, MatchesFineEuler)
+{
+    const auto sys = doubleLag();
+    const double dt = 0.05;
+    const auto dss = DiscreteStateSpaceN::zoh(sys, dt);
+
+    std::vector<double> x{0.3, -0.2};
+    std::vector<double> fine = x;
+    const std::vector<double> u{1.0};
+    const int sub = 2000;
+    for (int i = 0; i < sub; ++i) {
+        const auto ax = sys.a.apply(fine);
+        for (unsigned j = 0; j < 2; ++j)
+            fine[j] += (ax[j] + sys.b[j] * u[0]) * (dt / sub);
+    }
+    dss.next(x, u);
+    EXPECT_NEAR(x[0], fine[0], 1e-4);
+    EXPECT_NEAR(x[1], fine[1], 1e-4);
+}
+
+TEST(StateSpaceN, StableEstimate)
+{
+    const auto dss = DiscreteStateSpaceN::zoh(doubleLag(), 0.1);
+    EXPECT_LT(dss.spectralRadiusEstimate(), 1.0);
+    EXPECT_GT(dss.spectralRadiusEstimate(), 0.5);
+}
+
+TEST(StateSpaceN, OutputFeedThrough)
+{
+    StateSpaceN ss(2, 2);
+    ss.a.at(0, 0) = -1.0;
+    ss.a.at(1, 1) = -1.0;
+    ss.c = {0.0, 0.0};
+    ss.d = {3.0, -2.0};
+    const auto dss = DiscreteStateSpaceN::zoh(ss, 0.1);
+    std::vector<double> x{0.0, 0.0};
+    EXPECT_DOUBLE_EQ(dss.output(x, {1.0, 1.0}), 1.0);
+}
+
+} // namespace

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * Parameterised property sweeps across module configuration spaces:
+ * cache geometries, branch-history depths, PDN impedance/frequency
+ * grids and closed-loop safety of solved thresholds. These pin down
+ * invariants rather than point behaviours.
+ */
+
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "core/threshold_solver.hpp"
+#include "cpu/branch_pred.hpp"
+#include "cpu/cache.hpp"
+#include "linsys/worst_case.hpp"
+#include "pdn/impulse.hpp"
+#include "pdn/package_model.hpp"
+#include "pdn/pdn_sim.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace vguard;
+using namespace vguard::cpu;
+
+// --------------------------------------------------- cache properties
+
+class CacheGeometry
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t,
+                                                 uint32_t>>
+{
+};
+
+TEST_P(CacheGeometry, InclusionOfRecentLines)
+{
+    // Property: the most recently touched `ways` distinct lines of any
+    // set always hit.
+    const auto [size, ways, line] = GetParam();
+    Cache c("t", CacheConfig{size, ways, line, 1});
+    const uint32_t sets = size / (ways * line);
+
+    Rng rng(size ^ ways);
+    for (int trial = 0; trial < 200; ++trial) {
+        const uint32_t set = static_cast<uint32_t>(rng.below(sets));
+        // Touch `ways` distinct tags within one set, then re-touch:
+        // all must hit.
+        for (uint32_t w = 0; w < ways; ++w) {
+            const uint64_t addr =
+                (static_cast<uint64_t>(w + 1 + trial) * sets + set) *
+                line;
+            c.access(addr, false);
+        }
+        for (uint32_t w = 0; w < ways; ++w) {
+            const uint64_t addr =
+                (static_cast<uint64_t>(w + 1 + trial) * sets + set) *
+                line;
+            EXPECT_TRUE(c.access(addr, false).hit)
+                << "way " << w << " trial " << trial;
+        }
+    }
+}
+
+TEST_P(CacheGeometry, MissCountBoundedByCompulsory)
+{
+    // Property: touching N distinct lines once then re-touching them
+    // all (working set <= capacity) incurs exactly N misses.
+    const auto [size, ways, line] = GetParam();
+    Cache c("t", CacheConfig{size, ways, line, 1});
+    const uint32_t lines = size / line;
+    for (uint32_t i = 0; i < lines; ++i)
+        c.access(static_cast<uint64_t>(i) * line, false);
+    EXPECT_EQ(c.stats().misses, lines);
+    for (uint32_t i = 0; i < lines; ++i)
+        c.access(static_cast<uint64_t>(i) * line, false);
+    EXPECT_EQ(c.stats().misses, lines); // fully resident
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometry,
+    ::testing::Values(std::make_tuple(1024u, 1u, 64u),
+                      std::make_tuple(2048u, 2u, 64u),
+                      std::make_tuple(4096u, 4u, 32u),
+                      std::make_tuple(8192u, 2u, 128u),
+                      std::make_tuple(65536u, 2u, 64u)));
+
+// ------------------------------------------------ predictor properties
+
+class HistoryDepth : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(HistoryDepth, LearnsShortPeriodicPatterns)
+{
+    // Property: any strictly periodic direction pattern with period <=
+    // history depth is eventually predicted near-perfectly by the
+    // combined predictor.
+    CpuConfig cfg;
+    cfg.historyBits = GetParam();
+    BranchPredictor bp(cfg);
+    isa::StaticInst si{isa::Opcode::BNE, isa::kNoReg, isa::intReg(1),
+                       isa::kNoReg, 0, 3};
+
+    const unsigned period = std::min(GetParam(), 6u);
+    auto pattern = [&](unsigned t) { return (t % period) == 0; };
+
+    for (unsigned t = 0; t < 6000; ++t)
+        bp.predictAndUpdate(99, si, pattern(t), 3);
+    const uint64_t before = bp.stats().condMispredicts;
+    for (unsigned t = 6000; t < 7000; ++t)
+        bp.predictAndUpdate(99, si, pattern(t), 3);
+    EXPECT_LT(bp.stats().condMispredicts - before, 30u)
+        << "period " << period;
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, HistoryDepth,
+                         ::testing::Values(4u, 8u, 12u, 15u));
+
+// ----------------------------------------------------- PDN properties
+
+class PdnGrid
+    : public ::testing::TestWithParam<std::tuple<double, double>>
+{
+};
+
+TEST_P(PdnGrid, PassivityAndWorstCaseDominance)
+{
+    const auto [f0Mhz, zScale] = GetParam();
+    const auto m = pdn::PackageModel::design(f0Mhz * 1e6,
+                                             zScale * 1e-3);
+
+    // DC resistance preserved, discrete model stable.
+    EXPECT_NEAR(m.impedanceMag(0.0), 0.5e-3, 1e-9);
+    EXPECT_LT(m.discrete().spectralRadiusEstimate(), 1.0);
+
+    // Worst-case dominance: random admissible inputs never exceed the
+    // bang-bang bound.
+    const auto h = pdn::impulseResponse(m);
+    const auto wc = linsys::bangBangWorstCase(h, 10.0, 40.0);
+    pdn::PdnSim sim(m);
+    sim.trimToCurrent(10.0);
+    const double vdd = sim.vddSetPoint();
+    Rng rng(static_cast<uint64_t>(f0Mhz * 1000 + zScale));
+    double vMin = 2.0, vMax = 0.0;
+    for (int t = 0; t < 20000; ++t) {
+        const double amps =
+            rng.chance(0.5) ? 10.0 : (rng.chance(0.5) ? 40.0 : 25.0);
+        const double v = sim.step(amps);
+        vMin = std::min(vMin, v);
+        vMax = std::max(vMax, v);
+    }
+    // Bound accounting: sim trims so Vdd = vNom + rDc*10; the bound is
+    // relative to the same reference.
+    EXPECT_GE(vMin, vdd + wc.minOutput - 1e-9);
+    EXPECT_LE(vMax, vdd + wc.maxOutput + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, PdnGrid,
+    ::testing::Combine(::testing::Values(25.0, 50.0, 100.0),
+                       ::testing::Values(1.5, 3.0, 6.0)));
+
+// ------------------------------------------ threshold solver property
+
+class SolverGrid
+    : public ::testing::TestWithParam<std::tuple<unsigned, double>>
+{
+};
+
+TEST_P(SolverGrid, SolvedThresholdsAlwaysSafeInClosedLoop)
+{
+    // The headline guarantee, swept over (delay, impedance) pairs:
+    // whatever the solver returns as feasible must survive its own
+    // adversarial closed-loop verification with margin intact.
+    const auto [delay, zScale] = GetParam();
+    const auto &range = core::referenceCurrentRange();
+    core::ThresholdSpec spec;
+    spec.zPeakOhms = core::referenceTarget().zTargetOhms * zScale;
+    spec.iMin = range.progMin;
+    spec.iMax = range.progMax;
+    spec.iGate = range.gatedMin;
+    spec.iPhantom = range.phantomMax;
+    spec.iTrim = range.gatedMin;
+    spec.delayCycles = delay;
+    const auto th = core::solveThresholds(spec);
+    if (!th.feasibleLow || !th.feasibleHigh)
+        GTEST_SKIP() << "infeasible configuration (expected at "
+                        "aggressive corners)";
+    double vMin, vMax;
+    core::closedLoopExtremes(spec, th.vLow, th.vHigh, vMin, vMax);
+    EXPECT_GE(vMin, 0.95 - 1e-9);
+    EXPECT_LE(vMax, 1.05 + 1e-9);
+    EXPECT_GT(th.safeWindowV(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, SolverGrid,
+    ::testing::Combine(::testing::Values(0u, 2u, 4u, 6u),
+                       ::testing::Values(1.5, 2.0, 3.0)));
+
+} // namespace

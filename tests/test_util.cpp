@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Unit tests for src/util: RNG, running statistics, histogram, tables.
+ */
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using vguard::Histogram;
+using vguard::Rng;
+using vguard::RunningStat;
+using vguard::Table;
+
+TEST(Rng, Deterministic)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, SeedsDiffer)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.next() == b.next();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformIntervalRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng r(11);
+    double sum = 0.0;
+    const int n = 200000;
+    for (int i = 0; i < n; ++i)
+        sum += r.uniform();
+    EXPECT_NEAR(sum / n, 0.5, 0.005);
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng r(3);
+    std::set<uint64_t> seen;
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = r.below(17);
+        EXPECT_LT(v, 17u);
+        seen.insert(v);
+    }
+    EXPECT_EQ(seen.size(), 17u); // all residues hit
+}
+
+TEST(Rng, ChanceExtremes)
+{
+    Rng r(5);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_FALSE(r.chance(0.0));
+        EXPECT_TRUE(r.chance(1.0));
+    }
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(13);
+    RunningStat s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(r.gaussian());
+    EXPECT_NEAR(s.mean(), 0.0, 0.01);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.01);
+}
+
+TEST(Rng, GaussianScaled)
+{
+    Rng r(17);
+    RunningStat s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(r.gaussian(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ReseedRestartsSequence)
+{
+    Rng r(99);
+    const uint64_t first = r.next();
+    r.next();
+    r.reseed(99);
+    EXPECT_EQ(r.next(), first);
+}
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+    EXPECT_EQ(s.min(), 0.0);
+    EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(3.5);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(s.min(), 3.5);
+    EXPECT_DOUBLE_EQ(s.max(), 3.5);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0); // population variance
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesCombined)
+{
+    RunningStat a, b, whole;
+    vguard::Rng r(21);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = r.uniform(-10, 10);
+        whole.add(x);
+        (i < 400 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, b;
+    a.add(1.0);
+    a.add(2.0);
+    const double mean = a.mean();
+    a.merge(b); // no-op
+    EXPECT_DOUBLE_EQ(a.mean(), mean);
+    b.merge(a); // copy
+    EXPECT_DOUBLE_EQ(b.mean(), mean);
+}
+
+TEST(RunningStat, Reset)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BinAssignment)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.add(0.0);   // bin 0
+    h.add(0.999); // bin 0
+    h.add(1.0);   // bin 1
+    h.add(9.999); // bin 9
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(1), 1u);
+    EXPECT_EQ(h.count(9), 1u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, OutOfRange)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-0.1);
+    h.add(1.0); // hi edge is exclusive
+    h.add(5.0);
+    EXPECT_EQ(h.underflow(), 1u);
+    EXPECT_EQ(h.overflow(), 2u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(Histogram, BinCenters)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_DOUBLE_EQ(h.binCenter(0), 0.125);
+    EXPECT_DOUBLE_EQ(h.binCenter(3), 0.875);
+}
+
+TEST(Histogram, Fractions)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.25);
+    h.add(0.25);
+    h.add(0.75);
+    h.add(0.75);
+    EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.5);
+}
+
+TEST(Histogram, FractionBelow)
+{
+    Histogram h(0.0, 1.0, 10);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.05 + 0.1 * i); // one sample per bin
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.5), 0.5);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1.0), 1.0);
+}
+
+TEST(Histogram, Reset)
+{
+    Histogram h(0.0, 1.0, 2);
+    h.add(0.5);
+    h.reset();
+    EXPECT_EQ(h.total(), 0u);
+    EXPECT_EQ(h.count(1), 0u);
+}
+
+TEST(Histogram, AsciiContainsBars)
+{
+    Histogram h(0.0, 1.0, 3);
+    for (int i = 0; i < 10; ++i)
+        h.add(0.5);
+    const std::string art = h.ascii(20);
+    EXPECT_NE(art.find('#'), std::string::npos);
+    EXPECT_NE(art.find('%'), std::string::npos);
+}
+
+TEST(Table, AsciiHasHeadersAndRows)
+{
+    Table t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"beta", "2"});
+    const std::string a = t.ascii();
+    EXPECT_NE(a.find("name"), std::string::npos);
+    EXPECT_NE(a.find("alpha"), std::string::npos);
+    EXPECT_NE(a.find("beta"), std::string::npos);
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.cols(), 2u);
+}
+
+TEST(Table, ShortRowsPadded)
+{
+    Table t({"a", "b", "c"});
+    t.addRow({"only"});
+    EXPECT_NE(t.ascii().find("only"), std::string::npos);
+    EXPECT_NE(t.csv().find("only,,"), std::string::npos);
+}
+
+TEST(Table, CsvQuoting)
+{
+    Table t({"x"});
+    t.addRow({"has,comma"});
+    t.addRow({"has\"quote"});
+    const std::string csv = t.csv();
+    EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+    EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FmtPrecision)
+{
+    EXPECT_EQ(Table::fmt(1.5), "1.5");
+    EXPECT_EQ(Table::fmt(0.123456789, 3), "0.123");
+}
+
+} // namespace
