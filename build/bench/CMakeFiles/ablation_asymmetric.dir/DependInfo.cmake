@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ablation_asymmetric.cpp" "bench/CMakeFiles/ablation_asymmetric.dir/ablation_asymmetric.cpp.o" "gcc" "bench/CMakeFiles/ablation_asymmetric.dir/ablation_asymmetric.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/vguard_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vguard_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vguard_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/vguard_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vguard_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linsys/CMakeFiles/vguard_linsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_asymmetric.dir/ablation_asymmetric.cpp.o"
+  "CMakeFiles/ablation_asymmetric.dir/ablation_asymmetric.cpp.o.d"
+  "ablation_asymmetric"
+  "ablation_asymmetric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_asymmetric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

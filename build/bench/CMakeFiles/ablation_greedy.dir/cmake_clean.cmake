@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_greedy.dir/ablation_greedy.cpp.o"
+  "CMakeFiles/ablation_greedy.dir/ablation_greedy.cpp.o.d"
+  "ablation_greedy"
+  "ablation_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

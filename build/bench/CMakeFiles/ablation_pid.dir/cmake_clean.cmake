@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pid.dir/ablation_pid.cpp.o"
+  "CMakeFiles/ablation_pid.dir/ablation_pid.cpp.o.d"
+  "ablation_pid"
+  "ablation_pid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_resonance.dir/ablation_resonance.cpp.o"
+  "CMakeFiles/ablation_resonance.dir/ablation_resonance.cpp.o.d"
+  "ablation_resonance"
+  "ablation_resonance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_resonance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_itrs_trends.dir/fig01_itrs_trends.cpp.o"
+  "CMakeFiles/fig01_itrs_trends.dir/fig01_itrs_trends.cpp.o.d"
+  "fig01_itrs_trends"
+  "fig01_itrs_trends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_itrs_trends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_system_response.dir/fig02_system_response.cpp.o"
+  "CMakeFiles/fig02_system_response.dir/fig02_system_response.cpp.o.d"
+  "fig02_system_response"
+  "fig02_system_response.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_system_response.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

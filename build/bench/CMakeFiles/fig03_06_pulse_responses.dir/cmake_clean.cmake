@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_06_pulse_responses.dir/fig03_06_pulse_responses.cpp.o"
+  "CMakeFiles/fig03_06_pulse_responses.dir/fig03_06_pulse_responses.cpp.o.d"
+  "fig03_06_pulse_responses"
+  "fig03_06_pulse_responses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_06_pulse_responses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig03_06_pulse_responses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_06_pulse_responses.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_stressmark.dir/fig09_stressmark.cpp.o"
+  "CMakeFiles/fig09_stressmark.dir/fig09_stressmark.cpp.o.d"
+  "fig09_stressmark"
+  "fig09_stressmark.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_stressmark.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_voltage_distributions.dir/fig10_voltage_distributions.cpp.o"
+  "CMakeFiles/fig10_voltage_distributions.dir/fig10_voltage_distributions.cpp.o.d"
+  "fig10_voltage_distributions"
+  "fig10_voltage_distributions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_voltage_distributions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

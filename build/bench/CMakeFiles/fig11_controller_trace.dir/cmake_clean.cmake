@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_controller_trace.dir/fig11_controller_trace.cpp.o"
+  "CMakeFiles/fig11_controller_trace.dir/fig11_controller_trace.cpp.o.d"
+  "fig11_controller_trace"
+  "fig11_controller_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_controller_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

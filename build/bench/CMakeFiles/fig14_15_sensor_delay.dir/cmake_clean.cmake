@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_15_sensor_delay.dir/fig14_15_sensor_delay.cpp.o"
+  "CMakeFiles/fig14_15_sensor_delay.dir/fig14_15_sensor_delay.cpp.o.d"
+  "fig14_15_sensor_delay"
+  "fig14_15_sensor_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_15_sensor_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

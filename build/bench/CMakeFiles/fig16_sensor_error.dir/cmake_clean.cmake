@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_sensor_error.dir/fig16_sensor_error.cpp.o"
+  "CMakeFiles/fig16_sensor_error.dir/fig16_sensor_error.cpp.o.d"
+  "fig16_sensor_error"
+  "fig16_sensor_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_sensor_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig17_18_actuators.dir/fig17_18_actuators.cpp.o"
+  "CMakeFiles/fig17_18_actuators.dir/fig17_18_actuators.cpp.o.d"
+  "fig17_18_actuators"
+  "fig17_18_actuators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_18_actuators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab02_spec_emergencies.dir/tab02_spec_emergencies.cpp.o"
+  "CMakeFiles/tab02_spec_emergencies.dir/tab02_spec_emergencies.cpp.o.d"
+  "tab02_spec_emergencies"
+  "tab02_spec_emergencies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab02_spec_emergencies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

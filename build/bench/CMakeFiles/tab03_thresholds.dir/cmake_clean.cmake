@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab03_thresholds.dir/tab03_thresholds.cpp.o"
+  "CMakeFiles/tab03_thresholds.dir/tab03_thresholds.cpp.o.d"
+  "tab03_thresholds"
+  "tab03_thresholds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab03_thresholds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

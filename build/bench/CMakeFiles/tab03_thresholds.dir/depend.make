@@ -1,0 +1,2 @@
+# Empty dependencies file for tab03_thresholds.
+# This may be replaced when dependencies are built.

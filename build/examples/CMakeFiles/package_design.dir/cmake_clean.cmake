@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/package_design.dir/package_design.cpp.o"
+  "CMakeFiles/package_design.dir/package_design.cpp.o.d"
+  "package_design"
+  "package_design.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/package_design.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spec_campaign.dir/spec_campaign.cpp.o"
+  "CMakeFiles/spec_campaign.dir/spec_campaign.cpp.o.d"
+  "spec_campaign"
+  "spec_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spec_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stressmark_hunt.dir/stressmark_hunt.cpp.o"
+  "CMakeFiles/stressmark_hunt.dir/stressmark_hunt.cpp.o.d"
+  "stressmark_hunt"
+  "stressmark_hunt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stressmark_hunt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/actuator.cpp" "src/core/CMakeFiles/vguard_core.dir/actuator.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/actuator.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/vguard_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/experiments.cpp" "src/core/CMakeFiles/vguard_core.dir/experiments.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/experiments.cpp.o.d"
+  "/root/repo/src/core/pid_controller.cpp" "src/core/CMakeFiles/vguard_core.dir/pid_controller.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/pid_controller.cpp.o.d"
+  "/root/repo/src/core/sensor.cpp" "src/core/CMakeFiles/vguard_core.dir/sensor.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/sensor.cpp.o.d"
+  "/root/repo/src/core/threshold_solver.cpp" "src/core/CMakeFiles/vguard_core.dir/threshold_solver.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/threshold_solver.cpp.o.d"
+  "/root/repo/src/core/trace.cpp" "src/core/CMakeFiles/vguard_core.dir/trace.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/trace.cpp.o.d"
+  "/root/repo/src/core/voltage_sim.cpp" "src/core/CMakeFiles/vguard_core.dir/voltage_sim.cpp.o" "gcc" "src/core/CMakeFiles/vguard_core.dir/voltage_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vguard_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vguard_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/pdn/CMakeFiles/vguard_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/vguard_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/linsys/CMakeFiles/vguard_linsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vguard_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

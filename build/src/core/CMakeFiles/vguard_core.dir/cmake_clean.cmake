@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_core.dir/actuator.cpp.o"
+  "CMakeFiles/vguard_core.dir/actuator.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/controller.cpp.o"
+  "CMakeFiles/vguard_core.dir/controller.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/experiments.cpp.o"
+  "CMakeFiles/vguard_core.dir/experiments.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/pid_controller.cpp.o"
+  "CMakeFiles/vguard_core.dir/pid_controller.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/sensor.cpp.o"
+  "CMakeFiles/vguard_core.dir/sensor.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/threshold_solver.cpp.o"
+  "CMakeFiles/vguard_core.dir/threshold_solver.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/trace.cpp.o"
+  "CMakeFiles/vguard_core.dir/trace.cpp.o.d"
+  "CMakeFiles/vguard_core.dir/voltage_sim.cpp.o"
+  "CMakeFiles/vguard_core.dir/voltage_sim.cpp.o.d"
+  "libvguard_core.a"
+  "libvguard_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvguard_core.a"
+)

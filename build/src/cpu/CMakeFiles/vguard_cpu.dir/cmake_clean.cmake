@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_cpu.dir/branch_pred.cpp.o"
+  "CMakeFiles/vguard_cpu.dir/branch_pred.cpp.o.d"
+  "CMakeFiles/vguard_cpu.dir/cache.cpp.o"
+  "CMakeFiles/vguard_cpu.dir/cache.cpp.o.d"
+  "CMakeFiles/vguard_cpu.dir/core.cpp.o"
+  "CMakeFiles/vguard_cpu.dir/core.cpp.o.d"
+  "CMakeFiles/vguard_cpu.dir/func_units.cpp.o"
+  "CMakeFiles/vguard_cpu.dir/func_units.cpp.o.d"
+  "libvguard_cpu.a"
+  "libvguard_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/executor.cpp" "src/isa/CMakeFiles/vguard_isa.dir/executor.cpp.o" "gcc" "src/isa/CMakeFiles/vguard_isa.dir/executor.cpp.o.d"
+  "/root/repo/src/isa/memory.cpp" "src/isa/CMakeFiles/vguard_isa.dir/memory.cpp.o" "gcc" "src/isa/CMakeFiles/vguard_isa.dir/memory.cpp.o.d"
+  "/root/repo/src/isa/opcodes.cpp" "src/isa/CMakeFiles/vguard_isa.dir/opcodes.cpp.o" "gcc" "src/isa/CMakeFiles/vguard_isa.dir/opcodes.cpp.o.d"
+  "/root/repo/src/isa/program.cpp" "src/isa/CMakeFiles/vguard_isa.dir/program.cpp.o" "gcc" "src/isa/CMakeFiles/vguard_isa.dir/program.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_isa.dir/executor.cpp.o"
+  "CMakeFiles/vguard_isa.dir/executor.cpp.o.d"
+  "CMakeFiles/vguard_isa.dir/memory.cpp.o"
+  "CMakeFiles/vguard_isa.dir/memory.cpp.o.d"
+  "CMakeFiles/vguard_isa.dir/opcodes.cpp.o"
+  "CMakeFiles/vguard_isa.dir/opcodes.cpp.o.d"
+  "CMakeFiles/vguard_isa.dir/program.cpp.o"
+  "CMakeFiles/vguard_isa.dir/program.cpp.o.d"
+  "libvguard_isa.a"
+  "libvguard_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/linsys/mat2.cpp" "src/linsys/CMakeFiles/vguard_linsys.dir/mat2.cpp.o" "gcc" "src/linsys/CMakeFiles/vguard_linsys.dir/mat2.cpp.o.d"
+  "/root/repo/src/linsys/matn.cpp" "src/linsys/CMakeFiles/vguard_linsys.dir/matn.cpp.o" "gcc" "src/linsys/CMakeFiles/vguard_linsys.dir/matn.cpp.o.d"
+  "/root/repo/src/linsys/state_space.cpp" "src/linsys/CMakeFiles/vguard_linsys.dir/state_space.cpp.o" "gcc" "src/linsys/CMakeFiles/vguard_linsys.dir/state_space.cpp.o.d"
+  "/root/repo/src/linsys/worst_case.cpp" "src/linsys/CMakeFiles/vguard_linsys.dir/worst_case.cpp.o" "gcc" "src/linsys/CMakeFiles/vguard_linsys.dir/worst_case.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

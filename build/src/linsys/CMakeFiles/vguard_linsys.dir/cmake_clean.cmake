@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_linsys.dir/mat2.cpp.o"
+  "CMakeFiles/vguard_linsys.dir/mat2.cpp.o.d"
+  "CMakeFiles/vguard_linsys.dir/matn.cpp.o"
+  "CMakeFiles/vguard_linsys.dir/matn.cpp.o.d"
+  "CMakeFiles/vguard_linsys.dir/state_space.cpp.o"
+  "CMakeFiles/vguard_linsys.dir/state_space.cpp.o.d"
+  "CMakeFiles/vguard_linsys.dir/worst_case.cpp.o"
+  "CMakeFiles/vguard_linsys.dir/worst_case.cpp.o.d"
+  "libvguard_linsys.a"
+  "libvguard_linsys.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_linsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

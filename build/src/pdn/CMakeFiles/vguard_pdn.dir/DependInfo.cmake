@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pdn/impulse.cpp" "src/pdn/CMakeFiles/vguard_pdn.dir/impulse.cpp.o" "gcc" "src/pdn/CMakeFiles/vguard_pdn.dir/impulse.cpp.o.d"
+  "/root/repo/src/pdn/itrs.cpp" "src/pdn/CMakeFiles/vguard_pdn.dir/itrs.cpp.o" "gcc" "src/pdn/CMakeFiles/vguard_pdn.dir/itrs.cpp.o.d"
+  "/root/repo/src/pdn/package_model.cpp" "src/pdn/CMakeFiles/vguard_pdn.dir/package_model.cpp.o" "gcc" "src/pdn/CMakeFiles/vguard_pdn.dir/package_model.cpp.o.d"
+  "/root/repo/src/pdn/pdn_sim.cpp" "src/pdn/CMakeFiles/vguard_pdn.dir/pdn_sim.cpp.o" "gcc" "src/pdn/CMakeFiles/vguard_pdn.dir/pdn_sim.cpp.o.d"
+  "/root/repo/src/pdn/target_impedance.cpp" "src/pdn/CMakeFiles/vguard_pdn.dir/target_impedance.cpp.o" "gcc" "src/pdn/CMakeFiles/vguard_pdn.dir/target_impedance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/linsys/CMakeFiles/vguard_linsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_pdn.dir/impulse.cpp.o"
+  "CMakeFiles/vguard_pdn.dir/impulse.cpp.o.d"
+  "CMakeFiles/vguard_pdn.dir/itrs.cpp.o"
+  "CMakeFiles/vguard_pdn.dir/itrs.cpp.o.d"
+  "CMakeFiles/vguard_pdn.dir/package_model.cpp.o"
+  "CMakeFiles/vguard_pdn.dir/package_model.cpp.o.d"
+  "CMakeFiles/vguard_pdn.dir/pdn_sim.cpp.o"
+  "CMakeFiles/vguard_pdn.dir/pdn_sim.cpp.o.d"
+  "CMakeFiles/vguard_pdn.dir/target_impedance.cpp.o"
+  "CMakeFiles/vguard_pdn.dir/target_impedance.cpp.o.d"
+  "libvguard_pdn.a"
+  "libvguard_pdn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_power.dir/wattch.cpp.o"
+  "CMakeFiles/vguard_power.dir/wattch.cpp.o.d"
+  "libvguard_power.a"
+  "libvguard_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_util.dir/logging.cpp.o"
+  "CMakeFiles/vguard_util.dir/logging.cpp.o.d"
+  "CMakeFiles/vguard_util.dir/stats.cpp.o"
+  "CMakeFiles/vguard_util.dir/stats.cpp.o.d"
+  "CMakeFiles/vguard_util.dir/table.cpp.o"
+  "CMakeFiles/vguard_util.dir/table.cpp.o.d"
+  "libvguard_util.a"
+  "libvguard_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

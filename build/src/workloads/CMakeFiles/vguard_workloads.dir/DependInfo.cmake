@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/vguard_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/vguard_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/spec_proxy.cpp" "src/workloads/CMakeFiles/vguard_workloads.dir/spec_proxy.cpp.o" "gcc" "src/workloads/CMakeFiles/vguard_workloads.dir/spec_proxy.cpp.o.d"
+  "/root/repo/src/workloads/stressmark.cpp" "src/workloads/CMakeFiles/vguard_workloads.dir/stressmark.cpp.o" "gcc" "src/workloads/CMakeFiles/vguard_workloads.dir/stressmark.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/vguard_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/vguard_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/vguard_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

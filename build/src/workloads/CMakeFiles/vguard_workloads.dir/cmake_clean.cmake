@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vguard_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/vguard_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/vguard_workloads.dir/spec_proxy.cpp.o"
+  "CMakeFiles/vguard_workloads.dir/spec_proxy.cpp.o.d"
+  "CMakeFiles/vguard_workloads.dir/stressmark.cpp.o"
+  "CMakeFiles/vguard_workloads.dir/stressmark.cpp.o.d"
+  "libvguard_workloads.a"
+  "libvguard_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vguard_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_linsys.dir/test_linsys.cpp.o"
+  "CMakeFiles/test_linsys.dir/test_linsys.cpp.o.d"
+  "test_linsys"
+  "test_linsys.pdb"
+  "test_linsys[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_linsys.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_machine_sweep.dir/test_machine_sweep.cpp.o"
+  "CMakeFiles/test_machine_sweep.dir/test_machine_sweep.cpp.o.d"
+  "test_machine_sweep"
+  "test_machine_sweep.pdb"
+  "test_machine_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_machine_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

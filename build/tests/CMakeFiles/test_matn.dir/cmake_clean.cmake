@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matn.dir/test_matn.cpp.o"
+  "CMakeFiles/test_matn.dir/test_matn.cpp.o.d"
+  "test_matn"
+  "test_matn.pdb"
+  "test_matn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

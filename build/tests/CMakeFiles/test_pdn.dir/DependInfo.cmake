@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_pdn.cpp" "tests/CMakeFiles/test_pdn.dir/test_pdn.cpp.o" "gcc" "tests/CMakeFiles/test_pdn.dir/test_pdn.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pdn/CMakeFiles/vguard_pdn.dir/DependInfo.cmake"
+  "/root/repo/build/src/linsys/CMakeFiles/vguard_linsys.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/vguard_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

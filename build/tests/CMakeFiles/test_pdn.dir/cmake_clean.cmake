@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pdn.dir/test_pdn.cpp.o"
+  "CMakeFiles/test_pdn.dir/test_pdn.cpp.o.d"
+  "test_pdn"
+  "test_pdn.pdb"
+  "test_pdn[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pdn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
