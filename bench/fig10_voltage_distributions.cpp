@@ -7,10 +7,15 @@
  * 100 % package is safe by definition); stall-bound benchmarks like
  * ammp are tightly concentrated, while galgel/swim-class benchmarks
  * and especially the stressmark spread across a wide voltage range.
+ *
+ * The 27 characterisation runs are independent, so they execute on
+ * the campaign engine. Usage:
+ *   fig10_voltage_distributions [--threads N] [--seed S] [--jsonl FILE]
  */
 
 #include <cstdio>
 
+#include "core/campaign.hpp"
 #include "core/experiments.hpp"
 #include "util/table.hpp"
 #include "workloads/spec_proxy.hpp"
@@ -19,27 +24,52 @@
 using namespace vguard;
 using namespace vguard::core;
 
-namespace {
-
-void
-characterise(const char *name, const isa::Program &prog, uint64_t cycles,
-             Table &summary, bool fullHistogram)
+int
+main(int argc, char **argv)
 {
-    RunSpec rs;
-    rs.impedanceScale = 1.0;
-    rs.controllerEnabled = false;
-    rs.maxCycles = cycles;
-    const auto res = runWorkload(prog, rs);
+    const CampaignCli cli = parseCampaignCli(argc, argv);
+    std::printf("== Figure 10: voltage distributions @ 100%% "
+                "impedance ==\n\n");
+    const uint64_t cycles = cycleBudget(60000);
 
-    const auto &h = res.voltageHist;
-    summary.addRow({name, Table::fmt(res.minV, 5),
-                    Table::fmt(res.maxV, 5),
-                    Table::fmt((res.maxV - res.minV) * 1e3, 4),
-                    Table::fmt(100.0 * h.fractionBelow(0.9951), 4),
-                    std::to_string(res.emergencyCycles())});
+    RunSpec base;
+    base.impedanceScale = 1.0;
+    base.controllerEnabled = false;
+    base.maxCycles = cycles;
 
-    if (fullHistogram) {
-        std::printf("histogram for %s (V, share):\n", name);
+    std::vector<CampaignJob> jobs;
+    for (const auto &name : workloads::specBenchmarkNames())
+        jobs.push_back(
+            {name, workloads::buildSpecProxy(name), base, false});
+
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        pdn::PackageModel(referencePackage(1.0)).resonantPeriodCycles(),
+        referenceMachine().cpu);
+    jobs.push_back({"stressmark",
+                    workloads::StressmarkBuilder::build(cal.params),
+                    base, false});
+
+    const CampaignEngine engine(cli.options);
+    const CampaignResult campaign = engine.run(std::move(jobs));
+
+    Table summary({"workload", "min V", "max V", "range (mV)",
+                   "% below 0.995", "emergencies"});
+    for (const RunResult &rr : campaign.runs) {
+        const auto &res = rr.sim;
+        const auto &h = res.voltageHist;
+        summary.addRow({rr.name, Table::fmt(res.minV, 5),
+                        Table::fmt(res.maxV, 5),
+                        Table::fmt((res.maxV - res.minV) * 1e3, 4),
+                        Table::fmt(100.0 * h.fractionBelow(0.9951), 4),
+                        std::to_string(res.emergencyCycles())});
+
+        const bool detailed = rr.name == "ammp" ||
+                              rr.name == "galgel" ||
+                              rr.name == "swim" ||
+                              rr.name == "stressmark";
+        if (!detailed)
+            continue;
+        std::printf("histogram for %s (V, share):\n", rr.name.c_str());
         // Compress to populated region only.
         for (size_t i = 0; i < h.bins(); ++i) {
             if (h.count(i) == 0)
@@ -53,36 +83,14 @@ characterise(const char *name, const isa::Program &prog, uint64_t cycles,
         }
         std::printf("\n");
     }
-}
-
-} // namespace
-
-int
-main()
-{
-    std::printf("== Figure 10: voltage distributions @ 100%% "
-                "impedance ==\n\n");
-    const uint64_t cycles = cycleBudget(60000);
-
-    Table summary({"workload", "min V", "max V", "range (mV)",
-                   "% below 0.995", "emergencies"});
-
-    for (const auto &name : workloads::specBenchmarkNames()) {
-        const bool detailed = name == "ammp" || name == "galgel" ||
-                              name == "swim";
-        characterise(name.c_str(), workloads::buildSpecProxy(name),
-                     cycles, summary, detailed);
-    }
-
-    const auto cal = workloads::StressmarkBuilder::calibrate(
-        pdn::PackageModel(referencePackage(1.0)).resonantPeriodCycles(),
-        referenceMachine().cpu);
-    characterise("stressmark",
-                 workloads::StressmarkBuilder::build(cal.params), cycles,
-                 summary, true);
 
     std::printf("%s\n", summary.ascii().c_str());
     std::printf("expected shape: zero emergencies everywhere; ammp "
                 "tight, galgel/swim wide, stressmark widest.\n");
+    std::printf("campaign: %zu runs on %u threads in %.2f s\n",
+                campaign.runs.size(), campaign.threadsUsed,
+                campaign.wallSeconds);
+    if (writeCampaignJsonl(campaign, cli.jsonlPath))
+        std::printf("campaign: wrote %s\n", cli.jsonlPath.c_str());
     return 0;
 }

@@ -7,11 +7,16 @@
  * 200 %; ~1 benchmark breaching at 300 %; several more at 400 % with
  * tiny emergency frequencies. The stressmark, run alongside, breaches
  * from 200 % up.
+ *
+ * The 26 benchmarks x 4 impedances (+ 4 stressmark contrast runs) are
+ * independent, so they execute on the campaign engine. Usage:
+ *   tab02_spec_emergencies [--threads N] [--seed S] [--jsonl FILE]
  */
 
 #include <cstdio>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/experiments.hpp"
 #include "util/table.hpp"
 #include "workloads/spec_proxy.hpp"
@@ -21,13 +26,50 @@ using namespace vguard;
 using namespace vguard::core;
 
 int
-main()
+main(int argc, char **argv)
 {
+    const CampaignCli cli = parseCampaignCli(argc, argv);
     std::printf("== Table 2: SPEC2000 voltage emergencies vs "
                 "impedance ==\n\n");
 
     const std::vector<double> scales{1.0, 2.0, 3.0, 4.0};
     const uint64_t cycles = cycleBudget(60000);
+    const auto &names = workloads::specBenchmarkNames();
+
+    // Benchmark-major order: run index b * |scales| + s; the 4
+    // stressmark contrast runs follow at the end.
+    std::vector<CampaignJob> jobs;
+    for (const auto &name : names) {
+        const auto prog = workloads::buildSpecProxy(name);
+        for (double s : scales) {
+            RunSpec rs;
+            rs.impedanceScale = s;
+            rs.controllerEnabled = false;
+            rs.maxCycles = cycles;
+            jobs.push_back({name + "@" +
+                                std::to_string(
+                                    static_cast<int>(100.0 * s)) +
+                                "%",
+                            prog, rs, false});
+        }
+    }
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        pdn::PackageModel(referencePackage(2.0)).resonantPeriodCycles(),
+        referenceMachine().cpu);
+    const auto stress = workloads::StressmarkBuilder::build(cal.params);
+    for (double s : scales) {
+        RunSpec rs;
+        rs.impedanceScale = s;
+        rs.controllerEnabled = false;
+        rs.maxCycles = cycles;
+        jobs.push_back({"stressmark@" +
+                            std::to_string(static_cast<int>(100.0 * s)) +
+                            "%",
+                        stress, rs, false});
+    }
+
+    const CampaignEngine engine(cli.options);
+    const CampaignResult campaign = engine.run(std::move(jobs));
 
     struct Row
     {
@@ -38,15 +80,10 @@ main()
     std::vector<Row> rows(scales.size());
 
     Table detail({"benchmark", "100%", "200%", "300%", "400%"});
-    for (const auto &name : workloads::specBenchmarkNames()) {
-        std::vector<std::string> cells{name};
-        const auto prog = workloads::buildSpecProxy(name);
+    for (size_t b = 0; b < names.size(); ++b) {
+        std::vector<std::string> cells{names[b]};
         for (size_t i = 0; i < scales.size(); ++i) {
-            RunSpec rs;
-            rs.impedanceScale = scales[i];
-            rs.controllerEnabled = false;
-            rs.maxCycles = cycles;
-            const auto res = runWorkload(prog, rs);
+            const auto &res = campaign.runs[b * scales.size() + i].sim;
             const double freq = res.emergencyFrequency();
             rows[i].benchmarksWithEmergencies += freq > 0.0;
             rows[i].sumFreq += freq;
@@ -77,7 +114,7 @@ main()
         for (const auto &row : rows)
             r.push_back(
                 Table::fmt(100.0 * row.sumFreq /
-                               workloads::specBenchmarkNames().size(),
+                               static_cast<double>(names.size()),
                            3) +
                 "%");
         summary.addRow(r);
@@ -91,23 +128,21 @@ main()
     std::printf("%s\n", summary.ascii().c_str());
 
     // Contrast: the stressmark breaches already at 200 %.
-    const auto cal = workloads::StressmarkBuilder::calibrate(
-        pdn::PackageModel(referencePackage(2.0)).resonantPeriodCycles(),
-        referenceMachine().cpu);
     std::printf("stressmark for contrast:\n");
-    for (double s : scales) {
-        RunSpec rs;
-        rs.impedanceScale = s;
-        rs.controllerEnabled = false;
-        rs.maxCycles = cycles;
-        const auto res = runWorkload(
-            workloads::StressmarkBuilder::build(cal.params), rs);
+    for (size_t i = 0; i < scales.size(); ++i) {
+        const auto &res =
+            campaign.runs[names.size() * scales.size() + i].sim;
         std::printf("  %3.0f%%: %llu emergency cycles (%.3f%%), min V "
                     "%.4f\n",
-                    100.0 * s,
+                    100.0 * scales[i],
                     static_cast<unsigned long long>(
                         res.emergencyCycles()),
                     100.0 * res.emergencyFrequency(), res.minV);
     }
+    std::printf("campaign: %zu runs on %u threads in %.2f s\n",
+                campaign.runs.size(), campaign.threadsUsed,
+                campaign.wallSeconds);
+    if (writeCampaignJsonl(campaign, cli.jsonlPath))
+        std::printf("campaign: wrote %s\n", cli.jsonlPath.c_str());
     return 0;
 }

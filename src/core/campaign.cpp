@@ -1,0 +1,344 @@
+#include "core/campaign.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <deque>
+#include <limits>
+#include <mutex>
+#include <thread>
+
+#include "core/actuator.hpp"
+#include "util/jsonl.hpp"
+#include "util/logging.hpp"
+#include "util/rng.hpp"
+
+namespace vguard::core {
+
+CampaignEngine::CampaignEngine(Options opts) : opts_(opts) {}
+
+unsigned
+CampaignEngine::threads() const
+{
+    if (opts_.threads > 0)
+        return opts_.threads;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+CampaignEngine::forEach(size_t count,
+                        const std::function<void(size_t)> &fn) const
+{
+    if (count == 0)
+        return;
+    const unsigned nWorkers = static_cast<unsigned>(
+        std::min<size_t>(threads(), count));
+    if (nWorkers <= 1) {
+        for (size_t i = 0; i < count; ++i)
+            fn(i);
+        return;
+    }
+
+    // One deque per worker, sharded round-robin so every worker
+    // starts with a contiguous-ish slice of the submission order.
+    // Owners pop from the front; thieves steal from the back, which
+    // keeps stolen work far from what the owner touches next.
+    struct WorkerQueue
+    {
+        std::mutex m;
+        std::deque<size_t> q;
+    };
+    std::vector<WorkerQueue> queues(nWorkers);
+    for (size_t i = 0; i < count; ++i)
+        queues[i % nWorkers].q.push_back(i);
+
+    std::mutex errorMutex;
+    std::exception_ptr firstError;
+
+    auto worker = [&](unsigned self) {
+        constexpr size_t kNone = std::numeric_limits<size_t>::max();
+        for (;;) {
+            size_t job = kNone;
+            {
+                std::lock_guard<std::mutex> lock(queues[self].m);
+                if (!queues[self].q.empty()) {
+                    job = queues[self].q.front();
+                    queues[self].q.pop_front();
+                }
+            }
+            for (unsigned off = 1; job == kNone && off < nWorkers;
+                 ++off) {
+                WorkerQueue &victim = queues[(self + off) % nWorkers];
+                std::lock_guard<std::mutex> lock(victim.m);
+                if (!victim.q.empty()) {
+                    job = victim.q.back();
+                    victim.q.pop_back();
+                }
+            }
+            if (job == kNone)
+                return; // every queue drained; no job spawns jobs
+            try {
+                fn(job);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(errorMutex);
+                if (!firstError)
+                    firstError = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(nWorkers);
+    for (unsigned w = 0; w < nWorkers; ++w)
+        pool.emplace_back(worker, w);
+    for (auto &t : pool)
+        t.join();
+    if (firstError)
+        std::rethrow_exception(firstError);
+}
+
+CampaignResult
+CampaignEngine::run(std::vector<CampaignJob> jobs) const
+{
+    const auto t0 = std::chrono::steady_clock::now();
+
+    CampaignResult out;
+    out.campaignSeed = opts_.campaignSeed;
+    out.threadsUsed = static_cast<unsigned>(
+        std::min<size_t>(threads(), std::max<size_t>(jobs.size(), 1)));
+    out.runs.resize(jobs.size());
+
+    forEach(jobs.size(), [&](size_t i) {
+        const CampaignJob &job = jobs[i];
+        RunResult &rr = out.runs[i];
+        rr.index = i;
+        rr.name = job.name;
+        RunSpec spec = job.spec;
+        if (opts_.deriveSeeds)
+            spec.noiseSeed = deriveRunSeed(opts_.campaignSeed, i);
+        rr.spec = spec;
+        if (job.compare) {
+            rr.comparison = compareControlled(job.program, spec);
+            rr.sim = rr.comparison->controlled;
+        } else {
+            rr.sim = runWorkload(job.program, spec);
+        }
+    });
+
+    // Serial aggregation in submission order: byte-identical results
+    // for any thread count.
+    bool first = true;
+    for (const RunResult &rr : out.runs) {
+        out.totalCycles += rr.sim.cycles;
+        out.totalCommitted += rr.sim.committed;
+        out.totalEmergencyCycles += rr.sim.emergencyCycles();
+        out.totalGatedCycles += rr.sim.gatedCycles;
+        out.totalEnergyJ += rr.sim.energyJ;
+        if (first) {
+            out.minV = rr.sim.minV;
+            out.maxV = rr.sim.maxV;
+            first = false;
+        } else {
+            out.minV = std::min(out.minV, rr.sim.minV);
+            out.maxV = std::max(out.maxV, rr.sim.maxV);
+        }
+        out.ipc.add(rr.sim.ipc);
+        out.mergedHist.merge(rr.sim.voltageHist);
+    }
+
+    out.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t0)
+            .count();
+    return out;
+}
+
+namespace {
+
+void
+emitSpec(JsonWriter &w, const RunSpec &spec)
+{
+    w.key("spec").beginObject();
+    w.field("impedanceScale", spec.impedanceScale);
+    w.field("delayCycles", spec.delayCycles);
+    w.field("sensorError", spec.sensorError);
+    w.field("actuator", actuatorName(spec.actuator));
+    w.field("controller", spec.controllerEnabled);
+    w.field("convolution", spec.useConvolution);
+    w.field("maxCycles", spec.maxCycles);
+    w.field("noiseSeed", spec.noiseSeed);
+    w.endObject();
+}
+
+void
+emitSim(JsonWriter &w, std::string_view name,
+        const VoltageSimResult &r, bool withHist)
+{
+    w.key(name).beginObject();
+    w.field("cycles", r.cycles);
+    w.field("committed", r.committed);
+    w.field("ipc", r.ipc);
+    w.field("energyJ", r.energyJ);
+    w.field("avgPowerW", r.avgPowerW);
+    w.field("minV", r.minV);
+    w.field("maxV", r.maxV);
+    w.field("lowEmergencyCycles", r.lowEmergencyCycles);
+    w.field("highEmergencyCycles", r.highEmergencyCycles);
+    w.field("gatedCycles", r.gatedCycles);
+    w.field("phantomCycles", r.phantomCycles);
+    w.field("lowTriggers", r.lowTriggers);
+    w.field("highTriggers", r.highTriggers);
+    if (withHist) {
+        // Sparse [bin, count] pairs keep the artifact small: most of
+        // the 80 bins are empty for a quiet workload.
+        const Histogram &h = r.voltageHist;
+        w.key("hist").beginObject();
+        w.field("lo", h.lo());
+        w.field("hi", h.hi());
+        w.field("bins", static_cast<uint64_t>(h.bins()));
+        w.field("underflow", h.underflow());
+        w.field("overflow", h.overflow());
+        w.field("total", h.total());
+        w.key("counts").beginArray();
+        for (size_t i = 0; i < h.bins(); ++i) {
+            if (h.count(i) == 0)
+                continue;
+            w.beginArray()
+                .value(static_cast<uint64_t>(i))
+                .value(h.count(i))
+                .endArray();
+        }
+        w.endArray();
+        w.endObject();
+    }
+    w.endObject();
+}
+
+} // namespace
+
+std::string
+CampaignResult::jsonl() const
+{
+    std::string out;
+    JsonWriter w;
+    for (const RunResult &rr : runs) {
+        w.beginObject();
+        w.field("index", static_cast<uint64_t>(rr.index));
+        w.field("name", rr.name);
+        emitSpec(w, rr.spec);
+        if (rr.comparison) {
+            emitSim(w, "baseline", rr.comparison->baseline, true);
+            emitSim(w, "controlled", rr.comparison->controlled, true);
+            w.field("perfLossPct", rr.comparison->perfLossPct);
+            w.field("energyIncreasePct",
+                    rr.comparison->energyIncreasePct);
+        } else {
+            emitSim(w, "result", rr.sim, true);
+        }
+        w.endObject();
+        out += w.take();
+        out += '\n';
+    }
+
+    w.beginObject();
+    w.field("summary", true);
+    w.field("campaignSeed", campaignSeed);
+    w.field("runs", static_cast<uint64_t>(runs.size()));
+    w.field("totalCycles", totalCycles);
+    w.field("totalCommitted", totalCommitted);
+    w.field("totalEmergencyCycles", totalEmergencyCycles);
+    w.field("totalGatedCycles", totalGatedCycles);
+    w.field("totalEnergyJ", totalEnergyJ);
+    w.field("minV", minV);
+    w.field("maxV", maxV);
+    w.field("meanIpc", ipc.mean());
+    w.key("hist").beginObject();
+    w.field("lo", mergedHist.lo());
+    w.field("hi", mergedHist.hi());
+    w.field("bins", static_cast<uint64_t>(mergedHist.bins()));
+    w.field("underflow", mergedHist.underflow());
+    w.field("overflow", mergedHist.overflow());
+    w.field("total", mergedHist.total());
+    w.key("counts").beginArray();
+    for (size_t i = 0; i < mergedHist.bins(); ++i) {
+        if (mergedHist.count(i) == 0)
+            continue;
+        w.beginArray()
+            .value(static_cast<uint64_t>(i))
+            .value(mergedHist.count(i))
+            .endArray();
+    }
+    w.endArray();
+    w.endObject();
+    w.endObject();
+    out += w.take();
+    out += '\n';
+    return out;
+}
+
+CampaignCli
+parseCampaignCli(int argc, char **argv)
+{
+    CampaignCli cli;
+    auto numeric = [](const char *flag, const char *text) -> uint64_t {
+        char *end = nullptr;
+        const unsigned long long v = std::strtoull(text, &end, 0);
+        if (end == text || *end != '\0')
+            fatal("%s: expected a number, got '%s'", flag, text);
+        return v;
+    };
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        std::string inlineValue;
+        const auto eq = arg.find('=');
+        if (arg.rfind("--", 0) == 0 && eq != std::string::npos) {
+            inlineValue = arg.substr(eq + 1);
+            arg = arg.substr(0, eq);
+        }
+        auto takeValue = [&](const char *flag) -> std::string {
+            if (!inlineValue.empty() || eq != std::string::npos)
+                return inlineValue;
+            if (i + 1 >= argc)
+                fatal("%s: missing value", flag);
+            return argv[++i];
+        };
+        if (arg == "--threads") {
+            cli.options.threads = static_cast<unsigned>(
+                numeric("--threads", takeValue("--threads").c_str()));
+        } else if (arg == "--seed") {
+            cli.options.campaignSeed =
+                numeric("--seed", takeValue("--seed").c_str());
+        } else if (arg == "--jsonl") {
+            cli.jsonlPath = takeValue("--jsonl");
+            if (cli.jsonlPath.empty())
+                fatal("--jsonl: missing value");
+        } else {
+            cli.positional.push_back(std::move(arg));
+        }
+    }
+    return cli;
+}
+
+bool
+writeCampaignJsonl(const CampaignResult &result,
+                   const std::string &path)
+{
+    if (path.empty())
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("writeCampaignJsonl: cannot open '%s': %s", path.c_str(),
+              std::strerror(errno));
+    const std::string text = result.jsonl();
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const int closed = std::fclose(f);
+    if (written != text.size() || closed != 0)
+        fatal("writeCampaignJsonl: short write to '%s'", path.c_str());
+    return true;
+}
+
+} // namespace vguard::core

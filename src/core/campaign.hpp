@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Parallel experiment campaign engine.
+ *
+ * Every table/figure of the paper is a sweep of independent RunSpec
+ * simulations (Fig. 10, Figs. 14-18, Tables 2-3). The campaign engine
+ * shards such a sweep across a work-stealing thread pool and
+ * aggregates the results *in submission order*, so the output —
+ * including the JSONL artifact — is byte-identical regardless of
+ * thread count.
+ *
+ * Determinism guarantee:
+ *  - each run's sensor-noise seed is derived purely from
+ *    (campaignSeed, run index) via deriveRunSeed(), never from which
+ *    worker picks the job up;
+ *  - runs share no mutable state (the experiment caches in
+ *    experiments.cpp are thread-safe and value-deterministic);
+ *  - per-run results land in a pre-sized slot indexed by submission
+ *    order, and all aggregation (merged histogram, totals, stats)
+ *    happens serially over that order after the pool drains.
+ *
+ * Thread count therefore only changes wall-clock time, never results.
+ */
+
+#ifndef VGUARD_CORE_CAMPAIGN_HPP
+#define VGUARD_CORE_CAMPAIGN_HPP
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "isa/program.hpp"
+#include "util/stats.hpp"
+
+namespace vguard::core {
+
+/** One unit of campaign work: a named program under a RunSpec. */
+struct CampaignJob
+{
+    std::string name;      ///< label for tables/JSONL (e.g. "swim@200%")
+    isa::Program program;
+    RunSpec spec;
+    /** Run compareControlled() instead of a single runWorkload(). */
+    bool compare = false;
+};
+
+/** Result of one campaign run, tagged with its submission index. */
+struct RunResult
+{
+    size_t index = 0;
+    std::string name;
+    RunSpec spec;          ///< the spec actually executed (seed resolved)
+    /** The headline simulation: the run itself, or the controlled run
+        of a comparison job. */
+    VoltageSimResult sim;
+    std::optional<Comparison> comparison;  ///< set for compare jobs
+};
+
+/** Submission-order aggregation of a whole campaign. */
+struct CampaignResult
+{
+    std::vector<RunResult> runs;   ///< submission order, always complete
+
+    uint64_t campaignSeed = 0;
+    uint64_t totalCycles = 0;
+    uint64_t totalCommitted = 0;
+    uint64_t totalEmergencyCycles = 0;
+    uint64_t totalGatedCycles = 0;
+    double totalEnergyJ = 0.0;
+    double minV = 0.0;             ///< 0 when the campaign is empty
+    double maxV = 0.0;
+    RunningStat ipc;               ///< per-run IPC distribution
+    Histogram mergedHist{0.90, 1.10, 80};  ///< all runs' voltage samples
+
+    /** Wall-clock measurement; informational only — deliberately NOT
+        part of the JSONL artifact, which must be thread-count
+        independent. */
+    double wallSeconds = 0.0;
+    unsigned threadsUsed = 0;
+
+    /**
+     * Render the whole campaign as JSONL: one object per run (spec +
+     * results, plus baseline/controlled for comparison jobs) and a
+     * final summary line. Byte-deterministic for a given job list and
+     * campaign seed.
+     */
+    std::string jsonl() const;
+};
+
+/** The work-stealing campaign engine. */
+class CampaignEngine
+{
+  public:
+    struct Options
+    {
+        /** Worker threads; 0 means std::thread::hardware_concurrency. */
+        unsigned threads = 0;
+        /** Root seed for per-run noise-seed derivation. */
+        uint64_t campaignSeed = 0x5e11507;
+        /**
+         * Derive per-run seeds (the default). Disable only to
+         * reproduce single-run behaviour where every run shares
+         * RunSpec::noiseSeed verbatim.
+         */
+        bool deriveSeeds = true;
+    };
+
+    CampaignEngine() : CampaignEngine(Options{}) {}
+    explicit CampaignEngine(Options opts);
+
+    /** Execute all jobs and aggregate; blocks until complete. */
+    CampaignResult run(std::vector<CampaignJob> jobs) const;
+
+    /**
+     * Deterministic parallel-for over [0, count) on the same
+     * work-stealing pool: @p fn must write only to index-private
+     * state. Used e.g. to warm the threshold cache for Table 3.
+     * Exceptions from @p fn are rethrown (first one wins) after the
+     * pool drains.
+     */
+    void forEach(size_t count,
+                 const std::function<void(size_t)> &fn) const;
+
+    /** Effective worker count (resolves the 0 = auto default). */
+    unsigned threads() const;
+
+    const Options &options() const { return opts_; }
+
+  private:
+    Options opts_;
+};
+
+/** Parsed campaign-wide command-line options. */
+struct CampaignCli
+{
+    CampaignEngine::Options options;
+    std::string jsonlPath;                 ///< --jsonl FILE; "" = none
+    std::vector<std::string> positional;   ///< everything unrecognised
+};
+
+/**
+ * Parse the shared campaign flags out of argv: `--threads N`,
+ * `--seed S`, `--jsonl FILE` (also `--flag=value` forms). Unknown
+ * arguments are returned as positionals in order; malformed values are
+ * fatal(). Shared by the bench binaries and examples so every sweep
+ * exposes the same knobs.
+ */
+CampaignCli parseCampaignCli(int argc, char **argv);
+
+/**
+ * Write result.jsonl() to @p path (no-op when empty; fatal on I/O
+ * error). Returns true when a file was written.
+ */
+bool writeCampaignJsonl(const CampaignResult &result,
+                        const std::string &path);
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_CAMPAIGN_HPP

@@ -1,8 +1,11 @@
 #include "core/experiments.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstdlib>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <tuple>
 
 #include "pdn/package_model.hpp"
@@ -21,6 +24,8 @@ referenceMachine()
 const CurrentRange &
 referenceCurrentRange()
 {
+    // C++11 magic-static: concurrent first calls block until the one
+    // initialising thread finishes — safe for campaign workers.
     static const CurrentRange cached = [] {
         const Machine m = referenceMachine();
         power::WattchModel model(m.power, m.cpu);
@@ -55,6 +60,7 @@ referenceCurrentRange()
 const pdn::TargetImpedanceResult &
 referenceTarget()
 {
+    // Magic-static: initialisation is thread-safe (see above).
     static const pdn::TargetImpedanceResult cached = [] {
         const Machine m = referenceMachine();
         const CurrentRange &range = referenceCurrentRange();
@@ -84,35 +90,69 @@ referencePackage(double impedanceScale)
         .params();
 }
 
+namespace {
+
+/// Total solver invocations behind referenceThresholds() — test
+/// instrumentation for the single-solve-per-key guarantee.
+std::atomic<uint64_t> thresholdSolves{0};
+
+} // namespace
+
+uint64_t
+thresholdSolveCount()
+{
+    return thresholdSolves.load(std::memory_order_relaxed);
+}
+
 const Thresholds &
 referenceThresholds(double impedanceScale, unsigned delayCycles,
                     double sensorError)
 {
+    // Campaign workers hit this cache concurrently. The map itself is
+    // guarded by a mutex held only for lookup/insert; the expensive
+    // solve runs outside that lock under a per-key once_flag, so
+    // distinct keys solve in parallel while concurrent first-calls on
+    // the same key collapse to a single solver invocation. Entries
+    // are heap-allocated so returned references stay stable across
+    // rebalancing inserts.
     using Key = std::tuple<long, unsigned, long>;
-    static std::map<Key, Thresholds> cache;
+    struct Entry
+    {
+        std::once_flag once;
+        Thresholds value;
+    };
+    static std::mutex cacheMutex;
+    static std::map<Key, std::unique_ptr<Entry>> cache;
+
     const Key key{std::lround(impedanceScale * 1000.0), delayCycles,
                   std::lround(sensorError * 1e6)};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return it->second;
-
-    const Machine m = referenceMachine();
-    const CurrentRange &range = referenceCurrentRange();
-    ThresholdSpec spec;
-    spec.clockHz = m.cpu.clockHz;
-    spec.vNominal = m.power.vdd;
-    spec.zPeakOhms = referenceTarget().zTargetOhms * impedanceScale;
-    spec.iMin = range.progMin;
-    spec.iMax = range.progMax;
-    spec.iGate = range.gatedMin;
-    spec.iPhantom = range.phantomMax;
-    spec.iTrim = range.gatedMin;
-    spec.delayCycles = delayCycles;
-    spec.sensorError = sensorError;
-    spec.guardBandV = 0.0005;
-    auto [pos, inserted] = cache.emplace(key, solveThresholds(spec));
-    (void)inserted;
-    return pos->second;
+    Entry *entry;
+    {
+        std::lock_guard<std::mutex> lock(cacheMutex);
+        auto &slot = cache[key];
+        if (!slot)
+            slot = std::make_unique<Entry>();
+        entry = slot.get();
+    }
+    std::call_once(entry->once, [&] {
+        const Machine m = referenceMachine();
+        const CurrentRange &range = referenceCurrentRange();
+        ThresholdSpec spec;
+        spec.clockHz = m.cpu.clockHz;
+        spec.vNominal = m.power.vdd;
+        spec.zPeakOhms = referenceTarget().zTargetOhms * impedanceScale;
+        spec.iMin = range.progMin;
+        spec.iMax = range.progMax;
+        spec.iGate = range.gatedMin;
+        spec.iPhantom = range.phantomMax;
+        spec.iTrim = range.gatedMin;
+        spec.delayCycles = delayCycles;
+        spec.sensorError = sensorError;
+        spec.guardBandV = 0.0005;
+        entry->value = solveThresholds(spec);
+        thresholdSolves.fetch_add(1, std::memory_order_relaxed);
+    });
+    return entry->value;
 }
 
 VoltageSimConfig

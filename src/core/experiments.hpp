@@ -57,11 +57,20 @@ pdn::PackageParams referencePackage(double impedanceScale);
 
 /**
  * Thresholds for the reference machine at a given impedance multiple,
- * sensor delay and sensor error (cached).
+ * sensor delay and sensor error. Cached and thread-safe: concurrent
+ * first calls on the same key collapse to a single solver invocation;
+ * distinct keys solve in parallel.
  */
 const Thresholds &referenceThresholds(double impedanceScale,
                                       unsigned delayCycles,
                                       double sensorError = 0.0);
+
+/**
+ * Number of actual threshold-solver invocations made on behalf of
+ * referenceThresholds() so far (test instrumentation for the
+ * one-solve-per-key guarantee).
+ */
+uint64_t thresholdSolveCount();
 
 /** One experiment configuration. */
 struct RunSpec
@@ -74,6 +83,12 @@ struct RunSpec
     bool useConvolution = false;
     uint64_t maxCycles = 200000;
     uint64_t maxInsts = ~0ull;
+    /**
+     * Sensor-noise stream seed. Standalone runs use this default;
+     * campaign runs get a per-run seed derived as
+     * deriveRunSeed(campaignSeed, runIndex) so no two runs of a sweep
+     * share a noise stream (see campaign.hpp and EXPERIMENTS.md).
+     */
     uint64_t noiseSeed = 0x5e11507;
 };
 

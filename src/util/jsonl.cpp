@@ -1,0 +1,187 @@
+#include "util/jsonl.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "util/logging.hpp"
+
+namespace vguard {
+
+void
+JsonWriter::separate()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted its separator
+    }
+    if (stack_.empty())
+        return;
+    if (stack_.back() == 'f')
+        stack_.back() = 'n';
+    else
+        out_ += ',';
+}
+
+void
+JsonWriter::escape(std::string_view s)
+{
+    out_ += '"';
+    for (char c : s) {
+        switch (c) {
+        case '"': out_ += "\\\""; break;
+        case '\\': out_ += "\\\\"; break;
+        case '\n': out_ += "\\n"; break;
+        case '\t': out_ += "\\t"; break;
+        case '\r': out_ += "\\r"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out_ += buf;
+            } else {
+                out_ += c;
+            }
+        }
+    }
+    out_ += '"';
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separate();
+    out_ += '{';
+    stack_ += 'f';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    if (stack_.empty())
+        panic("JsonWriter: endObject without beginObject");
+    stack_.pop_back();
+    out_ += '}';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separate();
+    out_ += '[';
+    stack_ += 'f';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    if (stack_.empty())
+        panic("JsonWriter: endArray without beginArray");
+    stack_.pop_back();
+    out_ += ']';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(std::string_view name)
+{
+    separate();
+    escape(name);
+    out_ += ':';
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::string_view s)
+{
+    separate();
+    escape(s);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *s)
+{
+    return value(std::string_view(s));
+}
+
+JsonWriter &
+JsonWriter::value(bool b)
+{
+    separate();
+    out_ += b ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(double d)
+{
+    separate();
+    out_ += number(d);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(uint64_t u)
+{
+    separate();
+    char buf[24];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), u);
+    (void)ec;
+    out_.append(buf, p);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int64_t i)
+{
+    separate();
+    char buf[24];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), i);
+    (void)ec;
+    out_.append(buf, p);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int i)
+{
+    return value(static_cast<int64_t>(i));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned u)
+{
+    return value(static_cast<uint64_t>(u));
+}
+
+std::string
+JsonWriter::take()
+{
+    std::string result = std::move(out_);
+    out_.clear();
+    stack_.clear();
+    pendingKey_ = false;
+    return result;
+}
+
+std::string
+JsonWriter::number(double d)
+{
+    // JSON has no NaN/Inf; clamp to null-adjacent sentinels rather
+    // than emitting invalid tokens.
+    if (std::isnan(d))
+        return "\"nan\"";
+    if (std::isinf(d))
+        return d > 0 ? "\"inf\"" : "\"-inf\"";
+    char buf[40];
+    auto [p, ec] = std::to_chars(buf, buf + sizeof(buf), d);
+    (void)ec;
+    return std::string(buf, p);
+}
+
+} // namespace vguard

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Minimal deterministic JSON writer for JSONL (one object per line)
+ * artifacts.
+ *
+ * Campaign results are emitted as JSONL so sweeps become diffable,
+ * greppable files. Determinism is part of the contract: numbers are
+ * rendered with std::to_chars (shortest round-trip form), keys appear
+ * exactly in emission order, and no locale-dependent formatting is
+ * used — the same values always produce the same bytes.
+ */
+
+#ifndef VGUARD_UTIL_JSONL_HPP
+#define VGUARD_UTIL_JSONL_HPP
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace vguard {
+
+/**
+ * Streaming JSON value writer. Usage is push-style:
+ *
+ *   JsonWriter w;
+ *   w.beginObject();
+ *   w.key("name").value("swim");
+ *   w.key("cycles").value(uint64_t{40000});
+ *   w.key("hist").beginArray().value(1).value(2).endArray();
+ *   w.endObject();
+ *   std::string line = w.take();   // no trailing newline
+ *
+ * The writer inserts commas automatically; nesting is tracked with a
+ * small stack. It does not validate completeness — callers are
+ * expected to balance begin/end (asserted in debug via panic on
+ * obvious misuse).
+ */
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Object member key; must be followed by exactly one value. */
+    JsonWriter &key(std::string_view name);
+
+    JsonWriter &value(std::string_view s);
+    JsonWriter &value(const char *s);
+    JsonWriter &value(bool b);
+    JsonWriter &value(double d);
+    JsonWriter &value(uint64_t u);
+    JsonWriter &value(int64_t i);
+    JsonWriter &value(int i);
+    JsonWriter &value(unsigned u);
+
+    /** Shorthand for key(name).value(v). */
+    template <typename T>
+    JsonWriter &
+    field(std::string_view name, T v)
+    {
+        return key(name).value(v);
+    }
+
+    const std::string &str() const { return out_; }
+    /** Move the accumulated text out and reset the writer. */
+    std::string take();
+
+    /** Render one double in the deterministic shortest form. */
+    static std::string number(double d);
+
+  private:
+    void separate();
+    void escape(std::string_view s);
+
+    std::string out_;
+    /** One char per nesting level: 'f' first element, 'n' not first. */
+    std::string stack_;
+    bool pendingKey_ = false;
+};
+
+} // namespace vguard
+
+#endif // VGUARD_UTIL_JSONL_HPP

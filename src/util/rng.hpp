@@ -19,6 +19,35 @@
 
 namespace vguard {
 
+/**
+ * One step of the SplitMix64 stream: advances @p state by the golden
+ * ratio and returns the mixed draw. The canonical seed expander; also
+ * used to derive independent per-run seeds from a campaign seed.
+ */
+constexpr uint64_t
+splitmix64Next(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ull;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/**
+ * Deterministic per-run seed: the (index+1)-th independent stream off
+ * @p campaignSeed. Two different indices (or campaign seeds) give
+ * decorrelated noise streams, and the mapping is pure — the same
+ * (campaignSeed, index) always yields the same run seed, regardless of
+ * which thread executes the run.
+ */
+constexpr uint64_t
+deriveRunSeed(uint64_t campaignSeed, uint64_t index)
+{
+    uint64_t s = campaignSeed ^ (0x9e3779b97f4a7c15ull * (index + 1));
+    return splitmix64Next(s);
+}
+
 /** xoshiro256** PRNG with SplitMix64 seeding. */
 class Rng
 {
@@ -31,13 +60,8 @@ class Rng
     {
         // SplitMix64 expansion of the seed into four state words.
         uint64_t x = seed;
-        for (auto &word : state_) {
-            x += 0x9e3779b97f4a7c15ull;
-            uint64_t z = x;
-            z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-            z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-            word = z ^ (z >> 31);
-        }
+        for (auto &word : state_)
+            word = splitmix64Next(x);
         haveSpare_ = false;
     }
 

@@ -89,6 +89,22 @@ Histogram::add(double x)
     }
 }
 
+void
+Histogram::merge(const Histogram &other)
+{
+    if (other.lo_ != lo_ || other.hi_ != hi_ ||
+        other.counts_.size() != counts_.size())
+        fatal("Histogram::merge: geometry mismatch ([%g,%g)x%zu vs "
+              "[%g,%g)x%zu)",
+              lo_, hi_, counts_.size(), other.lo_, other.hi_,
+              other.counts_.size());
+    for (size_t i = 0; i < counts_.size(); ++i)
+        counts_[i] += other.counts_[i];
+    underflow_ += other.underflow_;
+    overflow_ += other.overflow_;
+    total_ += other.total_;
+}
+
 double
 Histogram::binCenter(size_t i) const
 {

@@ -63,6 +63,12 @@ class Histogram
     /** Add one sample. */
     void add(double x);
 
+    /**
+     * Merge another histogram's counts into this one; both must have
+     * identical lo/hi/bin geometry (fatal otherwise).
+     */
+    void merge(const Histogram &other);
+
     /** Number of in-range bins. */
     size_t bins() const { return counts_.size(); }
     double lo() const { return lo_; }

@@ -1,0 +1,371 @@
+/**
+ * @file
+ * Tests for the parallel campaign engine: the determinism property
+ * (thread count never changes results or JSONL bytes), the
+ * thread-safety of the shared experiment caches (single solver
+ * invocation per key under concurrent first calls), per-run seed
+ * derivation, CLI parsing, and a committed golden-trace regression
+ * that pins the stressmark mini-campaign byte-for-byte.
+ *
+ * Run the `campaign` ctest label under TSan via
+ *   cmake -B build-tsan -DVGUARD_SANITIZE=thread
+ *   ctest --test-dir build-tsan -L campaign
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/experiments.hpp"
+#include "util/jsonl.hpp"
+#include "util/rng.hpp"
+#include "workloads/spec_proxy.hpp"
+#include "workloads/stressmark.hpp"
+
+namespace {
+
+using namespace vguard;
+using namespace vguard::core;
+
+// ------------------------------------------------------- seed derivation
+
+TEST(SeedDerivation, PureAndDistinct)
+{
+    // Same (campaignSeed, index) -> same seed, always.
+    EXPECT_EQ(deriveRunSeed(42, 0), deriveRunSeed(42, 0));
+
+    // Neighbouring indices and campaign seeds give distinct streams.
+    std::vector<uint64_t> seeds;
+    for (uint64_t i = 0; i < 64; ++i)
+        seeds.push_back(deriveRunSeed(42, i));
+    for (uint64_t i = 0; i < 64; ++i)
+        seeds.push_back(deriveRunSeed(43, i));
+    std::sort(seeds.begin(), seeds.end());
+    EXPECT_EQ(std::adjacent_find(seeds.begin(), seeds.end()),
+              seeds.end())
+        << "derived run seeds must be unique";
+}
+
+// ------------------------------------------------------------ JSON writer
+
+TEST(JsonWriter, DeterministicShape)
+{
+    JsonWriter w;
+    w.beginObject();
+    w.field("name", "a\"b\\c");
+    w.field("n", uint64_t{7});
+    w.field("x", 0.5);
+    w.field("flag", true);
+    w.key("arr").beginArray().value(1).value(2).endArray();
+    w.endObject();
+    EXPECT_EQ(w.str(), "{\"name\":\"a\\\"b\\\\c\",\"n\":7,\"x\":0.5,"
+                       "\"flag\":true,\"arr\":[1,2]}");
+}
+
+TEST(JsonWriter, NumbersRoundTrip)
+{
+    // Shortest-form rendering is exact: parsing the text recovers the
+    // identical double.
+    for (double v : {0.9843523272994703, 1e-30, 3.0, -2.5e17}) {
+        const std::string s = JsonWriter::number(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v) << s;
+    }
+}
+
+// -------------------------------------------------------------- CLI
+
+TEST(CampaignCli, ParsesFlagsAndPositionals)
+{
+    const char *argv[] = {"prog",     "2.5",       "--threads", "8",
+                          "--seed=7", "--jsonl",   "out.jsonl", "3"};
+    const CampaignCli cli =
+        parseCampaignCli(8, const_cast<char **>(argv));
+    EXPECT_EQ(cli.options.threads, 8u);
+    EXPECT_EQ(cli.options.campaignSeed, 7u);
+    EXPECT_EQ(cli.jsonlPath, "out.jsonl");
+    ASSERT_EQ(cli.positional.size(), 2u);
+    EXPECT_EQ(cli.positional[0], "2.5");
+    EXPECT_EQ(cli.positional[1], "3");
+}
+
+// ------------------------------------------------- determinism property
+
+/** A small mixed campaign: plain + compare jobs, noise + no noise. */
+std::vector<CampaignJob>
+mixedJobs()
+{
+    std::vector<CampaignJob> jobs;
+    const std::vector<std::string> names{"gzip", "swim", "galgel",
+                                         "ammp", "mcf",  "applu"};
+    for (size_t i = 0; i < names.size(); ++i) {
+        RunSpec rs;
+        rs.impedanceScale = 2.0;
+        rs.maxCycles = 2000;
+        rs.controllerEnabled = (i % 2) == 0;
+        rs.delayCycles = 2;
+        rs.sensorError = (i % 3 == 0) ? 0.005 : 0.0;
+        jobs.push_back({names[i], workloads::buildSpecProxy(names[i]),
+                        rs, /*compare=*/i == 1});
+    }
+    return jobs;
+}
+
+void
+expectSameSim(const VoltageSimResult &a, const VoltageSimResult &b)
+{
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.committed, b.committed);
+    EXPECT_EQ(a.lowEmergencyCycles, b.lowEmergencyCycles);
+    EXPECT_EQ(a.highEmergencyCycles, b.highEmergencyCycles);
+    EXPECT_EQ(a.gatedCycles, b.gatedCycles);
+    EXPECT_EQ(a.phantomCycles, b.phantomCycles);
+    EXPECT_EQ(a.lowTriggers, b.lowTriggers);
+    EXPECT_EQ(a.highTriggers, b.highTriggers);
+    EXPECT_EQ(a.energyJ, b.energyJ);       // bit-exact, same FP order
+    EXPECT_EQ(a.minV, b.minV);
+    EXPECT_EQ(a.maxV, b.maxV);
+    ASSERT_EQ(a.voltageHist.bins(), b.voltageHist.bins());
+    for (size_t i = 0; i < a.voltageHist.bins(); ++i)
+        EXPECT_EQ(a.voltageHist.count(i), b.voltageHist.count(i));
+}
+
+TEST(Campaign, ThreadCountIndependent)
+{
+    CampaignEngine::Options base;
+    base.campaignSeed = 0xfeedface;
+
+    std::vector<CampaignResult> results;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        CampaignEngine::Options o = base;
+        o.threads = threads;
+        results.push_back(CampaignEngine(o).run(mixedJobs()));
+    }
+
+    const std::string jsonl0 = results[0].jsonl();
+    for (size_t r = 1; r < results.size(); ++r) {
+        ASSERT_EQ(results[r].runs.size(), results[0].runs.size());
+        for (size_t i = 0; i < results[0].runs.size(); ++i) {
+            const RunResult &a = results[0].runs[i];
+            const RunResult &b = results[r].runs[i];
+            EXPECT_EQ(a.name, b.name);
+            EXPECT_EQ(a.spec.noiseSeed, b.spec.noiseSeed);
+            expectSameSim(a.sim, b.sim);
+            ASSERT_EQ(a.comparison.has_value(),
+                      b.comparison.has_value());
+            if (a.comparison)
+                expectSameSim(a.comparison->baseline,
+                              b.comparison->baseline);
+        }
+        // Aggregates and the serialized artifact, byte for byte.
+        EXPECT_EQ(results[r].totalCycles, results[0].totalCycles);
+        EXPECT_EQ(results[r].totalEmergencyCycles,
+                  results[0].totalEmergencyCycles);
+        EXPECT_EQ(results[r].mergedHist.total(),
+                  results[0].mergedHist.total());
+        EXPECT_EQ(results[r].jsonl(), jsonl0);
+    }
+}
+
+TEST(Campaign, PerRunSeedsAreDerived)
+{
+    CampaignEngine::Options o;
+    o.threads = 2;
+    o.campaignSeed = 123;
+    const CampaignResult res = CampaignEngine(o).run(mixedJobs());
+    for (const RunResult &rr : res.runs)
+        EXPECT_EQ(rr.spec.noiseSeed, deriveRunSeed(123, rr.index));
+    // No two runs share a noise stream (the old single-constant bug).
+    for (size_t i = 1; i < res.runs.size(); ++i)
+        EXPECT_NE(res.runs[i].spec.noiseSeed,
+                  res.runs[0].spec.noiseSeed);
+}
+
+TEST(Campaign, EmptyCampaign)
+{
+    const CampaignResult res = CampaignEngine().run({});
+    EXPECT_TRUE(res.runs.empty());
+    EXPECT_EQ(res.totalCycles, 0u);
+    // Artifact is just the summary line.
+    const std::string text = res.jsonl();
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 1);
+}
+
+TEST(Campaign, ForEachCoversEveryIndexOnce)
+{
+    CampaignEngine::Options o;
+    o.threads = 8;
+    std::vector<int> hits(257, 0);
+    CampaignEngine(o).forEach(hits.size(), [&](size_t i) {
+        ++hits[i]; // index-private: no two workers share an i
+    });
+    for (size_t i = 0; i < hits.size(); ++i)
+        ASSERT_EQ(hits[i], 1) << "index " << i;
+}
+
+TEST(Campaign, ForEachPropagatesExceptions)
+{
+    CampaignEngine::Options o;
+    o.threads = 4;
+    EXPECT_THROW(CampaignEngine(o).forEach(
+                     64,
+                     [](size_t i) {
+                         if (i == 37)
+                             throw std::runtime_error("job 37");
+                     }),
+                 std::runtime_error);
+}
+
+// --------------------------------------------- cache thread-safety smoke
+
+TEST(ThresholdCache, ConcurrentFirstCallsSolveOnce)
+{
+    // Keys chosen to be fresh for this process (sensorError values no
+    // other test uses), so the before/after solver-count delta is
+    // exactly the number of distinct keys.
+    const double freshError = 0.00123;
+    const uint64_t before = thresholdSolveCount();
+
+    std::vector<std::thread> threads;
+    for (int t = 0; t < 8; ++t)
+        threads.emplace_back([&] {
+            // Every thread races on the same two keys.
+            referenceThresholds(2.0, 1, freshError);
+            referenceThresholds(2.0, 3, freshError);
+        });
+    for (auto &t : threads)
+        t.join();
+
+    EXPECT_EQ(thresholdSolveCount() - before, 2u)
+        << "concurrent first calls must collapse to one solve per key";
+
+    // And the cached values are consistent on re-read.
+    const Thresholds &a = referenceThresholds(2.0, 1, freshError);
+    const Thresholds &b = referenceThresholds(2.0, 1, freshError);
+    EXPECT_EQ(&a, &b) << "stable reference into the cache";
+}
+
+// ------------------------------------------------- golden-trace regression
+
+/**
+ * The pinned mini-campaign: 3 stressmark runs (uncontrolled, ideal
+ * controller, noisy FU/DL1/IL1 controller) on the 200 % package.
+ * Changing simulator behaviour, seed derivation, or JSONL formatting
+ * shifts these bytes — which is the point: paper numbers cannot move
+ * silently. Regenerate deliberately with
+ *   VGUARD_UPDATE_GOLDEN=1 ./tests/test_campaign \
+ *       --gtest_filter=Golden.MiniCampaignJsonl
+ * and commit the diff with justification.
+ */
+CampaignResult
+miniCampaign()
+{
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        pdn::PackageModel(referencePackage(2.0)).resonantPeriodCycles(),
+        referenceMachine().cpu);
+    const auto stress = workloads::StressmarkBuilder::build(cal.params);
+
+    RunSpec uncontrolled;
+    uncontrolled.impedanceScale = 2.0;
+    uncontrolled.controllerEnabled = false;
+    uncontrolled.maxCycles = 3000;
+
+    RunSpec ideal = uncontrolled;
+    ideal.controllerEnabled = true;
+    ideal.delayCycles = 2;
+    ideal.actuator = ActuatorKind::Ideal;
+
+    RunSpec noisy = ideal;
+    noisy.sensorError = 0.005;
+    noisy.actuator = ActuatorKind::FuDl1Il1;
+
+    std::vector<CampaignJob> jobs{
+        {"stressmark-uncontrolled", stress, uncontrolled, false},
+        {"stressmark-ideal-d2", stress, ideal, false},
+        {"stressmark-noisy-fu3-d2", stress, noisy, false},
+    };
+
+    CampaignEngine::Options o;
+    o.threads = 2;
+    o.campaignSeed = 0xc0ffee;
+    return CampaignEngine(o).run(std::move(jobs));
+}
+
+TEST(Golden, MiniCampaignJsonl)
+{
+    const std::string goldenPath =
+        std::string(VGUARD_GOLDEN_DIR) + "/mini_campaign.jsonl";
+    const std::string actual = miniCampaign().jsonl();
+
+    if (std::getenv("VGUARD_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath;
+        out << actual;
+        GTEST_SKIP() << "golden updated: " << goldenPath;
+    }
+
+    std::ifstream in(goldenPath, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << goldenPath
+        << " — generate with VGUARD_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+
+    if (expected != actual) {
+        // Pinpoint the first differing line for a readable failure.
+        std::istringstream ea(expected), aa(actual);
+        std::string el, al;
+        int line = 1;
+        while (std::getline(ea, el) && std::getline(aa, al) &&
+               el == al)
+            ++line;
+        ADD_FAILURE() << "golden mismatch at line " << line
+                      << "\n  expected: " << el << "\n  actual:   "
+                      << al;
+    }
+    SUCCEED();
+}
+
+// ------------------------------------------------------- scaling (smoke)
+
+TEST(Campaign, ParallelSpeedupWhenMultiCore)
+{
+    if (std::thread::hardware_concurrency() < 4)
+        GTEST_SKIP() << "needs >= 4 hardware threads to measure "
+                        "speedup meaningfully";
+
+    // Fig.-10-style: 32 independent characterisation runs.
+    std::vector<CampaignJob> jobs;
+    const auto &names = workloads::specBenchmarkNames();
+    for (size_t i = 0; i < 32; ++i) {
+        RunSpec rs;
+        rs.impedanceScale = 1.0;
+        rs.controllerEnabled = false;
+        rs.maxCycles = 20000;
+        const auto &name = names[i % names.size()];
+        jobs.push_back({name, workloads::buildSpecProxy(name), rs,
+                        false});
+    }
+
+    CampaignEngine::Options serial;
+    serial.threads = 1;
+    const double t1 =
+        CampaignEngine(serial).run(jobs).wallSeconds;
+
+    CampaignEngine::Options parallel;
+    parallel.threads = 8;
+    const double t8 =
+        CampaignEngine(parallel).run(jobs).wallSeconds;
+
+    EXPECT_GT(t1 / t8, 3.0)
+        << "expected >= 3x speedup at 8 threads (t1=" << t1
+        << "s, t8=" << t8 << "s)";
+}
+
+} // namespace
