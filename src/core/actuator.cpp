@@ -51,6 +51,15 @@ Actuator::phantomMask() const
 }
 
 void
+Actuator::reset()
+{
+    gatedCycles_ = 0;
+    phantomCycles_ = 0;
+    lowTriggers_ = 0;
+    highTriggers_ = 0;
+}
+
+void
 Actuator::apply(VoltageLevel level, cpu::OoOCore &core)
 {
     switch (level) {

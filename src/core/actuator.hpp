@@ -63,6 +63,14 @@ class Actuator
     /** Transitions from Normal into High. */
     uint64_t highTriggers() const { return highTriggers_; }
 
+    /**
+     * Zero the trigger/cycle counters so a fresh measurement window
+     * starts here (e.g. a second VoltageSim::run() on the same sim).
+     * The last observed level is kept: an actuation already in flight
+     * keeps counting cycles but is not re-counted as a new trigger.
+     */
+    void reset();
+
   private:
     cpu::GateState gateMask() const;
     cpu::PhantomState phantomMask() const;

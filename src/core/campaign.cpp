@@ -285,10 +285,22 @@ parseCampaignCli(int argc, char **argv)
 {
     CampaignCli cli;
     auto numeric = [](const char *flag, const char *text) -> uint64_t {
+        // strtoull silently accepts a leading '-' and wraps it to a
+        // huge unsigned value ("--seed -1" would become 2^64-1), so
+        // reject any sign explicitly before converting.
+        const char *p = text;
+        while (*p == ' ' || *p == '\t')
+            ++p;
+        if (*p == '-')
+            fatal("%s: expected a non-negative number, got '%s'", flag,
+                  text);
         char *end = nullptr;
+        errno = 0;
         const unsigned long long v = std::strtoull(text, &end, 0);
         if (end == text || *end != '\0')
             fatal("%s: expected a number, got '%s'", flag, text);
+        if (errno == ERANGE)
+            fatal("%s: value out of range: '%s'", flag, text);
         return v;
     };
     for (int i = 1; i < argc; ++i) {

@@ -20,16 +20,18 @@ VoltageLevel
 ThresholdSensor::observe(double vNow)
 {
     // Deposit the newest reading and pull the oldest (delay cycles
-    // back). With delay 0 the buffer has one slot: write then read.
+    // back). With delay 0 the buffer has one slot: write then read
+    // returns vNow itself.
     history_[head_] = vNow;
     head_ = head_ + 1 == history_.size() ? 0 : head_ + 1;
-    double reading = history_[head_ % history_.size()];
-    if (history_.size() == 1)
-        reading = vNow;
+    double reading = history_[head_];
 
-    if (cfg_.noiseMagnitude > 0.0)
-        reading += rng_.uniform(-cfg_.noiseMagnitude,
-                                cfg_.noiseMagnitude);
+    if (cfg_.noiseMagnitude > 0.0) {
+        reading += cfg_.noiseKind == SensorNoiseKind::Gaussian
+                       ? rng_.gaussian(0.0, cfg_.noiseMagnitude)
+                       : rng_.uniform(-cfg_.noiseMagnitude,
+                                      cfg_.noiseMagnitude);
+    }
     lastReading_ = reading;
 
     if (reading < cfg_.vLow)

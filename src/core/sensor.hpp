@@ -8,8 +8,10 @@
  * bandgap references or inverter-chain detectors in 1-2 cycles
  * (Section 4.2).
  *
- * Delay is modeled as a ring buffer of past readings; error as bounded
- * white noise added to the reading (Section 4.5). Threshold
+ * Delay is modeled as a ring buffer of past readings; error as white
+ * noise added to the reading — bounded uniform by default, per the
+ * Section 4.5 error model, optionally Gaussian (see SensorNoiseKind).
+ * Threshold
  * compensation for error — "correspondingly lowering and raising the
  * threshold by the potential error" — is applied by the threshold
  * solver, not here.
@@ -28,13 +30,28 @@ namespace vguard::core {
 /** Three-level sensor output. */
 enum class VoltageLevel : uint8_t { Low, Normal, High };
 
+/**
+ * Reading-error distribution.
+ *
+ * The paper's Section 4.5 model is *bounded* white error — thresholds
+ * are compensated "by the potential error", which only works when the
+ * error has a hard bound — so Uniform is the default and what the
+ * Fig. 16 sweeps use. Gaussian is provided for sensitivity studies of
+ * unbounded (thermal-noise-like) sensors; noiseMagnitude is then the
+ * standard deviation and threshold compensation is only statistical.
+ */
+enum class SensorNoiseKind : uint8_t { Uniform, Gaussian };
+
 /** Sensor parameters. */
 struct SensorConfig
 {
     double vLow = 0.0;          ///< low threshold [V]
     double vHigh = 1e9;         ///< high threshold [V]
     unsigned delayCycles = 1;   ///< reading age (0..6 in the paper)
-    double noiseMagnitude = 0.0;///< bounded white noise [V]
+    /** Error scale [V]: half-width (Uniform) or sigma (Gaussian). */
+    double noiseMagnitude = 0.0;
+    /** Error distribution; Uniform matches the paper's Fig. 16 runs. */
+    SensorNoiseKind noiseKind = SensorNoiseKind::Uniform;
     uint64_t seed = 0x5e11507;  ///< noise stream seed
     double vNominal = 1.0;      ///< initial delay-line fill [V]
 };

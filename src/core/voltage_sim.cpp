@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "pdn/impulse.hpp"
 #include "util/logging.hpp"
 
 namespace vguard::core {
@@ -18,7 +19,7 @@ VoltageSim::VoltageSim(const VoltageSimConfig &cfg, isa::Program program)
     pdn_.trimToCurrent(iMin);
 
     if (cfg_.useConvolution) {
-        conv_ = std::make_unique<pdn::Convolver>(
+        conv_ = std::make_unique<pdn::PartitionedConvolver>(
             pdn::impulseResponse(pdn_.model()), pdn_.vddSetPoint(), iMin);
     }
     if (cfg_.sensor)
@@ -53,6 +54,12 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
     res.voltageHist = Histogram(cfg_.histLo, cfg_.histHi, cfg_.histBins);
     res.minV = vNominal_;
     res.maxV = vNominal_;
+
+    // Each run() reports its own actuation counts: clear the actuator
+    // counters without disturbing the control loop's physical state
+    // (sensor delay line, gating commands already in flight).
+    if (controller_)
+        controller_->resetCounters();
 
     const double vLoBound = vNominal_ * (1.0 - cfg_.band);
     const double vHiBound = vNominal_ * (1.0 + cfg_.band);

@@ -17,7 +17,7 @@
 
 #include "core/controller.hpp"
 #include "cpu/core.hpp"
-#include "pdn/impulse.hpp"
+#include "pdn/partitioned_convolver.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "power/wattch.hpp"
 #include "util/stats.hpp"
@@ -120,7 +120,10 @@ class VoltageSim
     cpu::OoOCore core_;
     power::WattchModel power_;
     pdn::PdnSim pdn_;
-    std::unique_ptr<pdn::Convolver> conv_;
+    /** Convolution back-end; the partitioned convolver matches the
+        naive reference Convolver to fp rounding at O(log taps)
+        amortised per-cycle cost. */
+    std::unique_ptr<pdn::PartitionedConvolver> conv_;
     std::optional<ThresholdController> controller_;
     uint64_t cycle_ = 0;
     double vNominal_;

@@ -1,0 +1,83 @@
+#include "linsys/fft.hpp"
+
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::linsys {
+
+size_t
+nextPow2(size_t n)
+{
+    size_t p = 1;
+    while (p < n)
+        p <<= 1;
+    return p;
+}
+
+FftPlan::FftPlan(size_t n) : n_(n)
+{
+    if (n == 0 || (n & (n - 1)) != 0)
+        fatal("FftPlan: size must be a power of two, got %zu", n);
+
+    bitrev_.resize(n);
+    size_t bits = 0;
+    while ((size_t{1} << bits) < n)
+        ++bits;
+    for (size_t i = 0; i < n; ++i) {
+        size_t r = 0;
+        for (size_t b = 0; b < bits; ++b)
+            r |= ((i >> b) & 1u) << (bits - 1 - b);
+        bitrev_[i] = r;
+    }
+
+    twiddle_.resize(n / 2);
+    for (size_t k = 0; k < n / 2; ++k) {
+        const double ang = -2.0 * M_PI * static_cast<double>(k) /
+                           static_cast<double>(n);
+        twiddle_[k] = {std::cos(ang), std::sin(ang)};
+    }
+}
+
+void
+FftPlan::transform(std::complex<double> *data, bool invert) const
+{
+    for (size_t i = 0; i < n_; ++i) {
+        const size_t j = bitrev_[i];
+        if (i < j)
+            std::swap(data[i], data[j]);
+    }
+
+    for (size_t len = 2; len <= n_; len <<= 1) {
+        const size_t half = len / 2;
+        const size_t stride = n_ / len;  // twiddle index step
+        for (size_t base = 0; base < n_; base += len) {
+            for (size_t k = 0; k < half; ++k) {
+                std::complex<double> w = twiddle_[k * stride];
+                if (invert)
+                    w = std::conj(w);
+                const std::complex<double> u = data[base + k];
+                const std::complex<double> v = data[base + k + half] * w;
+                data[base + k] = u + v;
+                data[base + k + half] = u - v;
+            }
+        }
+    }
+}
+
+void
+FftPlan::forward(std::complex<double> *data) const
+{
+    transform(data, false);
+}
+
+void
+FftPlan::inverse(std::complex<double> *data) const
+{
+    transform(data, true);
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (size_t i = 0; i < n_; ++i)
+        data[i] *= scale;
+}
+
+} // namespace vguard::linsys

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Small radix-2 FFT used by the partitioned convolver.
+ *
+ * This is deliberately minimal: power-of-two sizes only, double
+ * precision, iterative Cooley-Tukey with a precomputed twiddle table so
+ * repeated transforms of the same size (the convolver does two per
+ * block) pay no trig cost. It is not a general-purpose FFT library —
+ * the convolver needs exactly "forward, pointwise multiply-accumulate,
+ * inverse" on short blocks (typically 256 points).
+ */
+
+#ifndef VGUARD_LINSYS_FFT_HPP
+#define VGUARD_LINSYS_FFT_HPP
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+namespace vguard::linsys {
+
+/** Smallest power of two >= n (n = 0 maps to 1). */
+size_t nextPow2(size_t n);
+
+/**
+ * Reusable FFT plan for one power-of-two size: bit-reversal permutation
+ * and twiddle factors are computed once at construction.
+ */
+class FftPlan
+{
+  public:
+    /** @param n Transform size; must be a power of two >= 1. */
+    explicit FftPlan(size_t n);
+
+    size_t size() const { return n_; }
+
+    /** In-place forward DFT (unnormalised). @p data must hold size() values. */
+    void forward(std::complex<double> *data) const;
+
+    /**
+     * In-place inverse DFT including the 1/N normalisation, so
+     * inverse(forward(x)) == x up to fp rounding.
+     */
+    void inverse(std::complex<double> *data) const;
+
+  private:
+    void transform(std::complex<double> *data, bool invert) const;
+
+    size_t n_;
+    std::vector<size_t> bitrev_;
+    /** Twiddles e^{-2πi k / n} for k in [0, n/2). */
+    std::vector<std::complex<double>> twiddle_;
+};
+
+} // namespace vguard::linsys
+
+#endif // VGUARD_LINSYS_FFT_HPP

@@ -252,7 +252,7 @@ DiscreteStateSpaceN::next(std::vector<double> &x,
                           const std::vector<double> &u) const
 {
     const unsigned n = ad_.size();
-    scratch_.assign(n, 0.0);
+    scratch_.resize(n);
     for (unsigned i = 0; i < n; ++i) {
         double acc = 0.0;
         for (unsigned j = 0; j < n; ++j)
@@ -261,7 +261,9 @@ DiscreteStateSpaceN::next(std::vector<double> &x,
             acc += bd_[i * inputs_ + j] * u[j];
         scratch_[i] = acc;
     }
-    x = scratch_;
+    // Swap instead of copy: the per-cycle PDN step must stay free of
+    // allocations and avoid the element copy.
+    x.swap(scratch_);
 }
 
 double

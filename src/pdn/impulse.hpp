@@ -24,16 +24,25 @@ namespace vguard::pdn {
  * mostly negative (current draw dips the voltage) with sign changes from
  * ringing; Σ h[k] = −R_s.
  *
- * The response is truncated once the remaining tail becomes negligible
- * relative to the largest tap.
+ * Truncation is energy-based: generation runs until the waveform has
+ * visibly settled (a quiet stretch below relTol x the peak tap, or
+ * maxTaps), then the kernel is cut at the shortest prefix that still
+ * captures a (1 - energyTol) fraction of the total tap energy Σ h².
+ * Unlike a fixed quiet-window rule, this bounds the tap count of
+ * slow-settling (high-Q) packages by how much response energy the
+ * discarded tail actually carries.
  *
  * @param model       Package to characterise.
- * @param relTol      Tail truncation threshold (relative to max |h|).
+ * @param relTol      Settling threshold (relative to max |h|) for the
+ *                    generation phase.
  * @param maxTaps     Hard cap on the kernel length.
+ * @param energyTol   Fraction of total kernel energy the truncated
+ *                    tail may carry.
  */
 std::vector<double> impulseResponse(const PackageModel &model,
                                     double relTol = 1e-9,
-                                    size_t maxTaps = 1 << 15);
+                                    size_t maxTaps = 1 << 15,
+                                    double energyTol = 1e-18);
 
 /**
  * Voltage step response: deviation trace for a sustained 1 A step
@@ -43,8 +52,14 @@ std::vector<double> impulseResponse(const PackageModel &model,
 std::vector<double> stepResponse(const PackageModel &model, size_t cycles);
 
 /**
- * Streaming convolver: v(t) = vdd + Σ_k h[k]·I(t−k) evaluated online
- * with a ring buffer, suitable for coupling to a cycle simulator.
+ * Naive streaming convolver: v(t) = vdd + Σ_k h[k]·I(t−k) evaluated
+ * online with a ring buffer, O(taps) per cycle.
+ *
+ * This is the *reference* implementation: simple enough to audit by
+ * eye, it anchors the golden equivalence tests and the
+ * BENCH_convolver.json baseline. Hot paths (VoltageSim) use
+ * PartitionedConvolver (partitioned_convolver.hpp), which computes the
+ * identical output in O(B + (taps/B)·log B) amortised per cycle.
  */
 class Convolver
 {

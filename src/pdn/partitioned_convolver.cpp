@@ -1,0 +1,144 @@
+#include "pdn/partitioned_convolver.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vguard::pdn {
+
+PartitionedConvolver::PartitionedConvolver(std::vector<double> impulse,
+                                           double vdd, double iBias,
+                                           size_t blockSize)
+    : taps_(impulse.size()), block_(blockSize), fftN_(2 * blockSize),
+      vdd_(vdd), iBias_(iBias), plan_(2 * blockSize)
+{
+    if (impulse.empty())
+        fatal("PartitionedConvolver: empty impulse response");
+    if (blockSize == 0 || (blockSize & (blockSize - 1)) != 0)
+        fatal("PartitionedConvolver: blockSize must be a power of two, "
+              "got %zu",
+              blockSize);
+
+    // Direct head: h[0..min(K,B)).
+    const size_t headLen = std::min(taps_, block_);
+    head_.assign(impulse.begin(),
+                 impulse.begin() + static_cast<ptrdiff_t>(headLen));
+
+    // Tail partitions of B taps each, zero-padded to 2B and FFT'd once.
+    scratch_.resize(fftN_);
+    for (size_t start = block_; start < taps_; start += block_) {
+        const size_t len = std::min(block_, taps_ - start);
+        std::fill(scratch_.begin(), scratch_.end(),
+                  std::complex<double>{});
+        for (size_t i = 0; i < len; ++i)
+            scratch_[i] = impulse[start + i];
+        plan_.forward(scratch_.data());
+        spectra_.push_back(scratch_);
+    }
+
+    in_.resize(fftN_);
+    tail_.resize(block_);
+    acc_.resize(fftN_);
+    fdl_.assign(spectra_.size(),
+                std::vector<std::complex<double>>(fftN_));
+    primeWithBias();
+}
+
+/**
+ * Multiply-accumulate every partition against its delay-line spectrum,
+ * inverse-transform, and store the valid (overlap-save) half as the
+ * tail contribution for the next B outputs. Inputs and kernels are
+ * real, so the spectra are hermitian: only the lower half needs the
+ * multiply-accumulate, the rest is the mirrored conjugate.
+ */
+void
+PartitionedConvolver::accumulateTail()
+{
+    const size_t half = fftN_ / 2;
+    std::fill(acc_.begin(), acc_.end(), std::complex<double>{});
+    for (size_t p = 0; p < spectra_.size(); ++p) {
+        const auto &s = fdl_[(fdlHead_ + p) % fdl_.size()];
+        const auto &h = spectra_[p];
+        for (size_t i = 0; i <= half; ++i)
+            acc_[i] += s[i] * h[i];
+    }
+    for (size_t i = 1; i < half; ++i)
+        acc_[fftN_ - i] = std::conj(acc_[i]);
+    plan_.inverse(acc_.data());
+    for (size_t j = 0; j < block_; ++j)
+        tail_[j] = acc_[block_ + j].real();
+}
+
+void
+PartitionedConvolver::primeWithBias()
+{
+    std::fill(in_.begin(), in_.end(), iBias_);
+    fdlHead_ = 0;
+    j_ = 0;
+    if (fdl_.empty()) {
+        std::fill(tail_.begin(), tail_.end(), 0.0);
+        return;
+    }
+
+    // Spectrum of a constant-bias 2B segment, shared by every slot.
+    std::fill(scratch_.begin(), scratch_.end(),
+              std::complex<double>{iBias_, 0.0});
+    plan_.forward(scratch_.data());
+    for (auto &slot : fdl_)
+        slot = scratch_;
+
+    // The delay line is fully primed, so the first frame's tail only
+    // needs the accumulate step.
+    accumulateTail();
+}
+
+void
+PartitionedConvolver::frameBoundary()
+{
+    if (!fdl_.empty()) {
+        // Push the spectrum of the last 2B inputs (frames m-2, m-1)
+        // into the delay line; it is what partition 0 convolves
+        // against for the upcoming frame m.
+        fdlHead_ = (fdlHead_ + fdl_.size() - 1) % fdl_.size();
+        auto &slot = fdl_[fdlHead_];
+        for (size_t i = 0; i < fftN_; ++i)
+            slot[i] = in_[i];
+        plan_.forward(slot.data());
+
+        accumulateTail();
+    }
+
+    // The completed frame becomes the "previous" frame.
+    std::copy(in_.begin() + static_cast<ptrdiff_t>(block_), in_.end(),
+              in_.begin());
+    j_ = 0;
+}
+
+double
+PartitionedConvolver::step(double amps)
+{
+    if (j_ == block_)
+        frameBoundary();
+
+    in_[block_ + j_] = amps;
+
+    // Direct head: y += sum_k h[k] * I(t-k), k < B. The newest sample
+    // sits at in_[B + j], so the reads walk contiguously backwards and
+    // never leave the buffer (oldest index is j + 1 >= 1).
+    const double *x = in_.data() + block_ + j_;
+    double acc = tail_[j_];
+    const size_t n = head_.size();
+    for (size_t k = 0; k < n; ++k)
+        acc += head_[k] * x[-static_cast<ptrdiff_t>(k)];
+
+    ++j_;
+    return vdd_ + acc;
+}
+
+void
+PartitionedConvolver::reset()
+{
+    primeWithBias();
+}
+
+} // namespace vguard::pdn

@@ -24,9 +24,11 @@ PdnSim::trimToCurrent(double iRef)
 double
 PdnSim::step(double amps)
 {
-    const std::vector<double> u{vdd_, amps};
-    const double v = dss_.output(x_, u);
-    dss_.next(x_, u);
+    // u_ is a member so the per-cycle hot path allocates nothing.
+    u_[0] = vdd_;
+    u_[1] = amps;
+    const double v = dss_.output(x_, u_);
+    dss_.next(x_, u_);
     return v;
 }
 
@@ -43,7 +45,9 @@ PdnSim::run(const std::vector<double> &amps)
 double
 PdnSim::outputAt(double amps) const
 {
-    return dss_.output(x_, {vdd_, amps});
+    u_[0] = vdd_;
+    u_[1] = amps;
+    return dss_.output(x_, u_);
 }
 
 void

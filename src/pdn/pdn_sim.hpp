@@ -64,6 +64,8 @@ class PdnSim
     linsys::DiscreteStateSpaceN dss_;
     std::vector<double> x_;      ///< [v_bulk, i_L, v_dcap]
     std::vector<double> xTrim_;  ///< DC state at the trim point
+    /** Reused [Vdd, I] input vector: step() must not allocate. */
+    mutable std::vector<double> u_{0.0, 0.0};
     double vdd_;                 ///< regulator set point
     double iTrim_ = 0.0;
 };

@@ -4,8 +4,10 @@
  *
  * A small, fast 64-bit generator (SplitMix64 seeded xoshiro256**) with
  * convenience draws used across the library: uniform doubles, bounded
- * integers, Bernoulli trials, and Gaussian noise (for the voltage-sensor
- * error model of Section 4.5 of the paper).
+ * integers, Bernoulli trials, and Gaussian noise. The paper's
+ * Section 4.5 sensor-error model is *bounded* white error and uses the
+ * uniform interval draw (core/sensor.hpp, SensorNoiseKind::Uniform);
+ * the Gaussian draw serves unbounded-noise sensitivity studies.
  *
  * All simulations in vguard are reproducible: every stochastic component
  * takes an explicit seed.

@@ -124,13 +124,27 @@ Histogram::fractionBelow(double x) const
 {
     if (total_ == 0)
         return 0.0;
+    if (x < lo_)
+        return 0.0;
     uint64_t below = underflow_;
-    for (size_t i = 0; i < counts_.size(); ++i) {
-        const double upper = lo_ + (static_cast<double>(i) + 1.0) * binWidth_;
-        if (upper <= x)
+    if (x >= hi_) {
+        // Everything that landed in a bin is below hi_ <= x; overflow
+        // samples (>= hi_) cannot be classified and are excluded.
+        for (uint64_t c : counts_)
+            below += c;
+    } else {
+        // Locate x's bin with the same arithmetic add() uses, so exact
+        // bin-boundary queries agree with the half-open [lo, hi)
+        // binning: a sample equal to a boundary is counted in the bin
+        // above it, and fractionBelow(boundary) counts every bin
+        // strictly below it. (The old accumulated-upper-edge
+        // comparison drifted from add()'s division by up to one ulp at
+        // boundaries.)
+        auto idx = static_cast<size_t>((x - lo_) / binWidth_);
+        if (idx >= counts_.size())
+            idx = counts_.size() - 1;
+        for (size_t i = 0; i < idx; ++i)
             below += counts_[i];
-        else
-            break;
     }
     return static_cast<double>(below) / static_cast<double>(total_);
 }

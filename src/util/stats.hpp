@@ -85,8 +85,12 @@ class Histogram
     /** Fraction of all samples falling in bin @p i. */
     double fraction(size_t i) const;
     /**
-     * Fraction of samples strictly below @p x (bins are attributed
-     * entirely to their lower edge side; resolution is one bin).
+     * Fraction of samples strictly below @p x, at one-bin resolution
+     * and consistent with add()'s half-open [lo, hi) binning: the
+     * query counts underflow plus every bin strictly below the bin
+     * containing @p x (computed with the same index arithmetic as
+     * add(), so exact bin boundaries never straddle). For x < lo the
+     * result is 0; for x >= hi it is everything except overflow.
      */
     double fractionBelow(double x) const;
 

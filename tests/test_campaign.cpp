@@ -94,6 +94,40 @@ TEST(CampaignCli, ParsesFlagsAndPositionals)
     EXPECT_EQ(cli.positional[1], "3");
 }
 
+TEST(CampaignCli, RejectsNegativeValues)
+{
+    // Regression: strtoull silently wraps "-4" to 2^64 - 4, so a
+    // mistyped negative thread count or seed used to be accepted as a
+    // huge positive value instead of failing loudly.
+    const char *threads[] = {"prog", "--threads", "-4"};
+    EXPECT_EXIT(parseCampaignCli(3, const_cast<char **>(threads)),
+                ::testing::ExitedWithCode(1), "non-negative");
+    const char *seed[] = {"prog", "--seed=-1"};
+    EXPECT_EXIT(parseCampaignCli(2, const_cast<char **>(seed)),
+                ::testing::ExitedWithCode(1), "non-negative");
+}
+
+TEST(CampaignCli, RejectsOutOfRangeAndGarbage)
+{
+    const char *huge[] = {"prog", "--seed", "99999999999999999999999"};
+    EXPECT_EXIT(parseCampaignCli(3, const_cast<char **>(huge)),
+                ::testing::ExitedWithCode(1), "out of range");
+    const char *text[] = {"prog", "--threads", "many"};
+    EXPECT_EXIT(parseCampaignCli(3, const_cast<char **>(text)),
+                ::testing::ExitedWithCode(1), "expected a number");
+}
+
+TEST(CampaignCli, AcceptsWhitespaceAndPlusSign)
+{
+    // Leading whitespace and an explicit '+' remain valid (strtoull
+    // semantics) — only the sign that wraps is rejected.
+    const char *argv[] = {"prog", "--threads", " +3", "--seed", "\t9"};
+    const CampaignCli cli =
+        parseCampaignCli(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.options.threads, 3u);
+    EXPECT_EQ(cli.options.campaignSeed, 9u);
+}
+
 // ------------------------------------------------- determinism property
 
 /** A small mixed campaign: plain + compare jobs, noise + no noise. */

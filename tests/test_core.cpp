@@ -94,6 +94,59 @@ TEST(Sensor, NoiseIsDeterministicPerSeed)
     }
 }
 
+TEST(Sensor, GaussianNoiseHasMatchingSigma)
+{
+    // Regression: the sensor used to draw uniform noise regardless of
+    // configuration while rng.hpp's docs promised a Gaussian — the
+    // Gaussian kind must actually produce sigma = noiseMagnitude and
+    // exceed the uniform bound sometimes.
+    SensorConfig sc;
+    sc.vLow = 0.0;
+    sc.vHigh = 2.0;
+    sc.delayCycles = 0;
+    sc.noiseMagnitude = 0.02;
+    sc.noiseKind = SensorNoiseKind::Gaussian;
+    ThresholdSensor s(sc);
+    double sum = 0.0, sumSq = 0.0;
+    int outsideUniformBound = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        s.observe(1.0);
+        const double e = s.lastReading() - 1.0;
+        sum += e;
+        sumSq += e * e;
+        if (std::fabs(e) > sc.noiseMagnitude)
+            ++outsideUniformBound;
+    }
+    EXPECT_NEAR(sum / n, 0.0, 5e-4);
+    EXPECT_NEAR(std::sqrt(sumSq / n), 0.02, 0.002);
+    // A N(0, 0.02) draw lands beyond +-0.02 about 32 % of the time; a
+    // uniform +-0.02 draw never does.
+    EXPECT_GT(outsideUniformBound, n / 5);
+}
+
+TEST(Sensor, UniformNoiseStaysUniform)
+{
+    // The default kind keeps the paper's bounded Section-4.5 error
+    // model: hard bound and ~sqrt(1/3) * bound standard deviation
+    // (distinguishes uniform from a sigma=bound Gaussian).
+    SensorConfig sc;
+    sc.vLow = 0.0;
+    sc.vHigh = 2.0;
+    sc.delayCycles = 0;
+    sc.noiseMagnitude = 0.02;
+    ThresholdSensor s(sc);
+    double sumSq = 0.0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        s.observe(1.0);
+        const double e = s.lastReading() - 1.0;
+        ASSERT_LE(std::fabs(e), 0.02);
+        sumSq += e * e;
+    }
+    EXPECT_NEAR(std::sqrt(sumSq / n), 0.02 / std::sqrt(3.0), 0.001);
+}
+
 TEST(Sensor, RejectsInvertedThresholds)
 {
     SensorConfig sc;
@@ -150,6 +203,52 @@ TEST(Actuator, TriggerCountsEdgeOnly)
         act.apply(VoltageLevel::Low, core);
     EXPECT_EQ(act.lowTriggers(), 1u);
     EXPECT_EQ(act.gatedCycles(), 5u);
+}
+
+TEST(Actuator, ResetClearsCountersKeepsLevel)
+{
+    cpu::OoOCore core(cpu::CpuConfig{}, workloads::busyKernel());
+    Actuator act(ActuatorKind::Ideal);
+    for (int i = 0; i < 5; ++i)
+        act.apply(VoltageLevel::Low, core);
+    act.reset();
+    EXPECT_EQ(act.gatedCycles(), 0u);
+    EXPECT_EQ(act.lowTriggers(), 0u);
+    // The level is deliberately kept: an actuation already in flight
+    // counts cycles in the new window but is not a fresh trigger.
+    act.apply(VoltageLevel::Low, core);
+    EXPECT_EQ(act.gatedCycles(), 1u);
+    EXPECT_EQ(act.lowTriggers(), 0u);
+    // New edges after the reset count normally.
+    act.apply(VoltageLevel::Normal, core);
+    act.apply(VoltageLevel::High, core);
+    EXPECT_EQ(act.highTriggers(), 1u);
+    EXPECT_EQ(act.phantomCycles(), 1u);
+}
+
+TEST(VoltageSim, BackToBackRunsReportPerRunCounters)
+{
+    // Regression: run() never cleared the actuator, so a second run()
+    // on the same sim reported the first run's gated cycles and
+    // triggers on top of its own.
+    RunSpec rs;
+    rs.controllerEnabled = false;
+    VoltageSimConfig cfg = makeSimConfig(rs);
+    SensorConfig sc;
+    sc.vLow = 1.5; // every reading is "low": gates every cycle
+    sc.vHigh = 2.0;
+    sc.delayCycles = 0;
+    cfg.sensor = sc;
+    VoltageSim sim(cfg, workloads::busyKernel(100000));
+
+    const auto r1 = sim.run(1000);
+    const auto r2 = sim.run(1000);
+    ASSERT_EQ(r1.cycles, 1000u);
+    ASSERT_EQ(r2.cycles, 1000u);
+    EXPECT_EQ(r1.gatedCycles, r1.cycles);
+    EXPECT_EQ(r2.gatedCycles, r2.cycles); // pre-fix: 2 * cycles
+    EXPECT_EQ(r1.lowTriggers, 1u);
+    EXPECT_EQ(r2.lowTriggers, 0u); // still in flight, not re-triggered
 }
 
 // ------------------------------------------------------------- solver

@@ -8,12 +8,19 @@
 
 #include <cstdio>
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
 #include "core/actuator.hpp"
 #include "core/experiments.hpp"
 #include "core/pid_controller.hpp"
 #include "core/trace.hpp"
 #include "core/voltage_sim.hpp"
 #include "cpu/core.hpp"
+#include "pdn/impulse.hpp"
+#include "pdn/partitioned_convolver.hpp"
+#include "power/wattch.hpp"
 #include "workloads/kernels.hpp"
 #include "workloads/stressmark.hpp"
 
@@ -319,6 +326,40 @@ TEST(Asymmetric, ProtectsWithWeakPhantom)
     const auto res = sim.run(60000);
     EXPECT_EQ(res.emergencyCycles(), 0u);
     EXPECT_GT(res.phantomCycles, 0u);
+}
+
+// --------------------------------------- convolver golden equivalence
+
+TEST(Convolution, PartitionedMatchesNaiveOnStressmarkTrace)
+{
+    // Golden equivalence on real input: run the paper's dI/dt
+    // stressmark through the cycle core + Wattch model to get an
+    // adversarial resonant current trace, then require the partitioned
+    // convolver to reproduce the naive reference voltage-for-voltage
+    // on the full (untruncated-length) kernel.
+    const Machine m = referenceMachine();
+    const auto cal = workloads::StressmarkBuilder::calibrate(60, m.cpu);
+    cpu::OoOCore core(m.cpu,
+                      workloads::StressmarkBuilder::build(cal.params));
+    power::WattchModel pm(m.power, m.cpu);
+    std::vector<double> amps;
+    amps.reserve(20000);
+    for (int t = 0; t < 20000 && !core.halted(); ++t)
+        amps.push_back(pm.current(core.cycle()));
+    ASSERT_GT(amps.size(), 15000u); // trace long enough to matter
+
+    const auto pkg = pdn::PackageModel(referencePackage(2.0));
+    const auto h = pdn::impulseResponse(pkg);
+    const double iBias = pm.minCurrent();
+    pdn::Convolver naive(h, 1.0, iBias);
+    pdn::PartitionedConvolver part(h, 1.0, iBias);
+    ASSERT_GT(part.partitions(), 1u); // kernel long enough to matter
+
+    double maxDev = 0.0;
+    for (double a : amps)
+        maxDev = std::max(maxDev,
+                          std::fabs(naive.step(a) - part.step(a)));
+    EXPECT_LT(maxDev, 1e-12);
 }
 
 } // namespace

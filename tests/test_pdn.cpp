@@ -5,6 +5,7 @@
  * equivalence, target-impedance calibration and the ITRS data.
  */
 
+#include <algorithm>
 #include <cmath>
 #include <complex>
 #include <vector>
@@ -13,6 +14,7 @@
 
 #include "linsys/worst_case.hpp"
 #include "pdn/impulse.hpp"
+#include "pdn/partitioned_convolver.hpp"
 #include "pdn/itrs.hpp"
 #include "pdn/package_model.hpp"
 #include "pdn/pdn_sim.hpp"
@@ -246,6 +248,151 @@ TEST(Impulse, ConvolverResetRestoresBias)
     // At the bias current the deviation is the DC drop of the bias.
     const double v = conv.step(10.0);
     EXPECT_NEAR(v, 1.0 - 0.5e-3 * 10.0, 1e-7);
+}
+
+// ---------------------------------------------- partitioned convolver
+
+/** Max |naive - partitioned| over @p cycles of a pseudo-random trace. */
+double
+maxPartitionedDeviation(const std::vector<double> &h, double iBias,
+                        size_t blockSize, size_t cycles,
+                        uint64_t seed = 2026)
+{
+    Convolver naive(h, 1.0, iBias);
+    PartitionedConvolver part(h, 1.0, iBias, blockSize);
+    vguard::Rng rng(seed);
+    double maxDev = 0.0;
+    for (size_t t = 0; t < cycles; ++t) {
+        const double amps = 5.0 + 50.0 * rng.uniform();
+        maxDev = std::max(maxDev,
+                          std::fabs(naive.step(amps) - part.step(amps)));
+    }
+    return maxDev;
+}
+
+TEST(Partitioned, MatchesNaiveOnReferenceKernel)
+{
+    const auto h = impulseResponse(reference());
+    EXPECT_LT(maxPartitionedDeviation(h, 10.0, 128, 3000), 1e-12);
+}
+
+TEST(Partitioned, MatchesNaiveAcrossKernelLengths)
+{
+    // Edge geometries: kernel shorter than a block, exactly one block,
+    // one block plus a fragment, odd lengths, multi-partition.
+    const auto full = impulseResponse(reference());
+    for (size_t taps : {size_t{1}, size_t{7}, size_t{64}, size_t{128},
+                        size_t{129}, size_t{257}, size_t{1000},
+                        size_t{4096}}) {
+        auto h = full;
+        h.resize(taps, 0.0);
+        const size_t cycles = std::max<size_t>(4 * taps, 600);
+        EXPECT_LT(maxPartitionedDeviation(h, 8.0, 128, cycles), 1e-12)
+            << "taps=" << taps;
+    }
+}
+
+TEST(Partitioned, MatchesNaiveAcrossBlockSizes)
+{
+    auto h = impulseResponse(reference());
+    h.resize(1500, 0.0);
+    for (size_t block : {size_t{16}, size_t{64}, size_t{128},
+                         size_t{256}}) {
+        EXPECT_LT(maxPartitionedDeviation(h, 12.0, block, 4000), 1e-12)
+            << "block=" << block;
+    }
+}
+
+TEST(Partitioned, MatchesStateSpace)
+{
+    // Same property as Impulse.ConvolverMatchesStateSpace, but for the
+    // fast back-end: the partitioned convolver must track direct
+    // state-space stepping, not merely the naive convolver.
+    const auto m = reference();
+    PdnSim sim(m);
+    sim.trimToCurrent(5.0);
+    PartitionedConvolver conv(impulseResponse(m), sim.vddSetPoint(),
+                              5.0);
+    vguard::Rng rng(123);
+    double maxErr = 0.0;
+    for (int t = 0; t < 3000; ++t) {
+        const double amps = 5.0 + 45.0 * rng.uniform();
+        maxErr = std::max(maxErr,
+                          std::fabs(sim.step(amps) - conv.step(amps)));
+    }
+    EXPECT_LT(maxErr, 1e-6);
+}
+
+TEST(Partitioned, ResetRestoresBias)
+{
+    const auto m = reference();
+    PartitionedConvolver conv(impulseResponse(m), 1.0, 10.0);
+    for (int i = 0; i < 500; ++i)
+        conv.step(60.0);
+    conv.reset();
+    const double v = conv.step(10.0);
+    EXPECT_NEAR(v, 1.0 - 0.5e-3 * 10.0, 1e-7);
+}
+
+TEST(Partitioned, ResetReplaysIdentically)
+{
+    const auto h = impulseResponse(reference());
+    PartitionedConvolver conv(h, 1.0, 10.0);
+    auto replay = [&conv] {
+        std::vector<double> out;
+        vguard::Rng rng(55);
+        for (int t = 0; t < 700; ++t)
+            out.push_back(conv.step(10.0 + 30.0 * rng.uniform()));
+        return out;
+    };
+    const auto first = replay();
+    conv.reset();
+    const auto second = replay();
+    for (size_t i = 0; i < first.size(); ++i)
+        EXPECT_DOUBLE_EQ(first[i], second[i]) << i;
+}
+
+TEST(Partitioned, RejectsBadArguments)
+{
+    EXPECT_EXIT(PartitionedConvolver(std::vector<double>{}, 1.0),
+                ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(PartitionedConvolver(std::vector<double>{1.0}, 1.0,
+                                     0.0, 96),
+                ::testing::ExitedWithCode(1), "power of two");
+}
+
+TEST(Impulse, EnergyTruncationShortensKernel)
+{
+    const auto m = reference();
+    const auto tight = impulseResponse(m, 1e-9, 1 << 15, 0.0);
+    const auto loose = impulseResponse(m, 1e-9, 1 << 15, 1e-6);
+    EXPECT_LT(loose.size(), tight.size());
+    // The discarded tail carries roughly sqrt(tol * E * N) of l1 mass
+    // (~7e-6 here); the DC-resistance sum property survives to that
+    // order.
+    double sum = 0.0;
+    for (double v : loose)
+        sum += v;
+    EXPECT_NEAR(sum, -0.5e-3, 2e-5);
+}
+
+TEST(Impulse, DefaultEnergyTruncationIsLossless)
+{
+    // The default 1e-18 tolerance only sheds numerically-dead taps:
+    // convolving with the truncated kernel must agree with the
+    // untruncated one to well under a nanovolt.
+    const auto m = reference();
+    const auto def = impulseResponse(m);
+    const auto full = impulseResponse(m, 1e-9, 1 << 15, 0.0);
+    ASSERT_LE(def.size(), full.size());
+    Convolver a(def, 1.0, 10.0), b(full, 1.0, 10.0);
+    vguard::Rng rng(31);
+    double maxDev = 0.0;
+    for (int t = 0; t < 2000; ++t) {
+        const double amps = 5.0 + 50.0 * rng.uniform();
+        maxDev = std::max(maxDev, std::fabs(a.step(amps) - b.step(amps)));
+    }
+    EXPECT_LT(maxDev, 1e-9);
 }
 
 TEST(TargetImpedance, CalibrationMeetsBandExactly)

@@ -239,6 +239,50 @@ TEST(Histogram, FractionBelow)
     EXPECT_DOUBLE_EQ(h.fractionBelow(1.0), 1.0);
 }
 
+TEST(Histogram, FractionBelowAgreesWithAddAtBinBoundaries)
+{
+    // Regression: the old implementation located x by accumulating bin
+    // upper edges (lo + (i+1)*w and comparing with <=), which drifts
+    // from add()'s (x - lo) / w division by an ulp on boundaries the
+    // width does not represent exactly. With [0, 1.1) split 13 ways,
+    // x = lo + 3w rounds *below* the accumulated third edge, so the old
+    // code counted the sample's own bin as "below" it.
+    Histogram h(0.0, 1.1, 13);
+    const double w = 1.1 / 13.0;
+    const double x = 0.0 + 3 * w;
+    h.add(x);
+    ASSERT_EQ(h.count(2), 1u); // add() places lo + 3w in bin 2 (fp)
+    EXPECT_DOUBLE_EQ(h.fractionBelow(x), 0.0); // own bin is not below
+
+    // Sweep every representable boundary of several geometries: a
+    // sample added at a boundary must never count below itself.
+    for (size_t bins : {size_t{13}, size_t{80}, size_t{7}}) {
+        Histogram g(0.0, 1.1, bins);
+        const double bw = 1.1 / static_cast<double>(bins);
+        for (size_t k = 1; k < bins; ++k) {
+            const double b = static_cast<double>(k) * bw;
+            g.reset();
+            g.add(b);
+            EXPECT_DOUBLE_EQ(g.fractionBelow(b), 0.0)
+                << "bins=" << bins << " k=" << k;
+        }
+    }
+}
+
+TEST(Histogram, FractionBelowCountsUnderflowAndExcludesOverflow)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-1.0); // underflow
+    h.add(0.1);  // bin 0
+    h.add(0.6);  // bin 2
+    h.add(2.0);  // overflow
+    EXPECT_DOUBLE_EQ(h.fractionBelow(-0.5), 0.0);
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.05), 0.25); // underflow only
+    EXPECT_DOUBLE_EQ(h.fractionBelow(0.5), 0.5);   // + bin 0
+    EXPECT_DOUBLE_EQ(h.fractionBelow(1.0), 0.75);  // all bins, no ovf
+    EXPECT_DOUBLE_EQ(h.fractionBelow(9.0), 0.75);
+}
+
 TEST(Histogram, Reset)
 {
     Histogram h(0.0, 1.0, 2);
