@@ -11,6 +11,8 @@
  * The 7 delays x 9 workloads = 63 comparison runs are independent, so
  * they execute on the campaign engine. Usage:
  *   fig14_15_sensor_delay [--threads N] [--seed S] [--jsonl FILE]
+ *                         [--stats-json FILE] [--events FILE]
+ *                         [--progress]
  */
 
 #include <cstdio>
@@ -97,5 +99,9 @@ main(int argc, char **argv)
                 campaign.wallSeconds);
     if (writeCampaignJsonl(campaign, cli.jsonlPath))
         std::printf("campaign: wrote %s\n", cli.jsonlPath.c_str());
+    if (writeCampaignStatsJson(campaign, cli.statsJsonPath))
+        std::printf("campaign: wrote %s\n", cli.statsJsonPath.c_str());
+    if (writeCampaignEventsJsonl(campaign, cli.eventsPath))
+        std::printf("campaign: wrote %s\n", cli.eventsPath.c_str());
     return 0;
 }

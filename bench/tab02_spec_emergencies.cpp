@@ -11,6 +11,8 @@
  * The 26 benchmarks x 4 impedances (+ 4 stressmark contrast runs) are
  * independent, so they execute on the campaign engine. Usage:
  *   tab02_spec_emergencies [--threads N] [--seed S] [--jsonl FILE]
+ *                          [--stats-json FILE] [--events FILE]
+ *                          [--progress]
  */
 
 #include <cstdio>
@@ -144,5 +146,9 @@ main(int argc, char **argv)
                 campaign.wallSeconds);
     if (writeCampaignJsonl(campaign, cli.jsonlPath))
         std::printf("campaign: wrote %s\n", cli.jsonlPath.c_str());
+    if (writeCampaignStatsJson(campaign, cli.statsJsonPath))
+        std::printf("campaign: wrote %s\n", cli.statsJsonPath.c_str());
+    if (writeCampaignEventsJsonl(campaign, cli.eventsPath))
+        std::printf("campaign: wrote %s\n", cli.eventsPath.c_str());
     return 0;
 }

@@ -11,6 +11,7 @@
  *
  * Usage: spec_campaign [impedance_scale] [delay_cycles]
  *                      [--threads N] [--seed S] [--jsonl FILE]
+ *                      [--stats-json FILE] [--events FILE] [--progress]
  */
 
 #include <cstdio>
@@ -82,5 +83,9 @@ main(int argc, char **argv)
                 campaign.wallSeconds);
     if (writeCampaignJsonl(campaign, cli.jsonlPath))
         std::printf("campaign: wrote %s\n", cli.jsonlPath.c_str());
+    if (writeCampaignStatsJson(campaign, cli.statsJsonPath))
+        std::printf("campaign: wrote %s\n", cli.statsJsonPath.c_str());
+    if (writeCampaignEventsJsonl(campaign, cli.eventsPath))
+        std::printf("campaign: wrote %s\n", cli.eventsPath.c_str());
     return 0;
 }

@@ -60,6 +60,24 @@ Actuator::reset()
 }
 
 void
+Actuator::registerStats(obs::Registry &r,
+                        const std::string &prefix) const
+{
+    r.derivedCounter(prefix + ".gated_cycles",
+                     "cycles spent clock-gating",
+                     [this] { return gatedCycles_; });
+    r.derivedCounter(prefix + ".phantom_cycles",
+                     "cycles spent phantom-firing",
+                     [this] { return phantomCycles_; });
+    r.derivedCounter(prefix + ".low_triggers",
+                     "Normal->Low transitions",
+                     [this] { return lowTriggers_; });
+    r.derivedCounter(prefix + ".high_triggers",
+                     "Normal->High transitions",
+                     [this] { return highTriggers_; });
+}
+
+void
 Actuator::apply(VoltageLevel level, cpu::OoOCore &core)
 {
     switch (level) {

@@ -25,6 +25,7 @@
 
 #include "core/sensor.hpp"
 #include "cpu/core.hpp"
+#include "obs/metrics.hpp"
 
 namespace vguard::core {
 
@@ -70,6 +71,13 @@ class Actuator
      * keeps counting cycles but is not re-counted as a new trigger.
      */
     void reset();
+
+    /**
+     * Bind actuator counters into @p r under `<prefix>.`
+     * (gated_cycles, phantom_cycles, low_triggers, high_triggers).
+     */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
 
   private:
     cpu::GateState gateMask() const;

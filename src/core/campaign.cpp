@@ -1,6 +1,7 @@
 #include "core/campaign.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cerrno>
 #include <chrono>
 #include <cstdio>
@@ -112,6 +113,7 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         std::min<size_t>(threads(), std::max<size_t>(jobs.size(), 1)));
     out.runs.resize(jobs.size());
 
+    std::atomic<size_t> completed{0};
     forEach(jobs.size(), [&](size_t i) {
         const CampaignJob &job = jobs[i];
         RunResult &rr = out.runs[i];
@@ -120,12 +122,22 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         RunSpec spec = job.spec;
         if (opts_.deriveSeeds)
             spec.noiseSeed = deriveRunSeed(opts_.campaignSeed, i);
+        if (opts_.profiling)
+            spec.profiling = true;
         rr.spec = spec;
         if (job.compare) {
             rr.comparison = compareControlled(job.program, spec);
             rr.sim = rr.comparison->controlled;
         } else {
             rr.sim = runWorkload(job.program, spec);
+        }
+        if (opts_.progress) {
+            // Completion order is worker-dependent; this is purely a
+            // liveness indicator, never an artifact.
+            const size_t done =
+                completed.fetch_add(1, std::memory_order_relaxed) + 1;
+            inform("campaign: %zu/%zu done (%s)", done, jobs.size(),
+                   job.name.c_str());
         }
     });
 
@@ -148,6 +160,8 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         }
         out.ipc.add(rr.sim.ipc);
         out.mergedHist.merge(rr.sim.voltageHist);
+        out.mergedStats.merge(rr.sim.stats);
+        out.profile.merge(rr.sim.profile);
     }
 
     out.wallSeconds =
@@ -280,6 +294,59 @@ CampaignResult::jsonl() const
     return out;
 }
 
+std::string
+CampaignResult::statsJson() const
+{
+    // Hand-spliced top level: the nested stats/profile sections are
+    // already rendered by their own deterministic emitters.
+    JsonWriter w;
+    w.beginObject();
+    w.field("seed", campaignSeed);
+    w.field("runs", static_cast<uint64_t>(runs.size()));
+    w.field("total_cycles", totalCycles);
+    w.field("total_committed", totalCommitted);
+    w.field("total_emergency_cycles", totalEmergencyCycles);
+    w.field("total_gated_cycles", totalGatedCycles);
+    w.field("total_energy_j", totalEnergyJ);
+    w.field("min_v", minV);
+    w.field("max_v", maxV);
+    uint64_t episodes = 0, dropped = 0;
+    for (const RunResult &rr : runs) {
+        episodes += rr.sim.events.total();
+        dropped += rr.sim.events.dropped();
+    }
+    w.field("emergency_episodes", episodes);
+    w.field("dropped_events", dropped);
+    w.endObject();
+
+    std::string out = "{\"campaign\":";
+    out += w.take();
+    out += ",\"stats\":";
+    out += mergedStats.json();
+    // Everything below this point is wall-clock derived and therefore
+    // machine/thread dependent; tooling comparing artifacts across
+    // thread counts must only look at "campaign" and "stats".
+    out += ",\"profile\":";
+    out += profile.json();
+    out += ",\"wall_seconds\":";
+    out += JsonWriter::number(wallSeconds);
+    out += ",\"threads\":";
+    out += std::to_string(threadsUsed);
+    out += "}";
+    return out;
+}
+
+std::string
+CampaignResult::eventsJsonl() const
+{
+    std::string out;
+    for (const RunResult &rr : runs)
+        for (const auto &ev : rr.sim.events.events())
+            ev.appendJsonl(out, rr.name,
+                           static_cast<int64_t>(rr.index));
+    return out;
+}
+
 CampaignCli
 parseCampaignCli(int argc, char **argv)
 {
@@ -328,6 +395,19 @@ parseCampaignCli(int argc, char **argv)
             cli.jsonlPath = takeValue("--jsonl");
             if (cli.jsonlPath.empty())
                 fatal("--jsonl: missing value");
+        } else if (arg == "--stats-json") {
+            cli.statsJsonPath = takeValue("--stats-json");
+            if (cli.statsJsonPath.empty())
+                fatal("--stats-json: missing value");
+            // The stats document carries the profile section, so
+            // asking for it turns phase profiling on.
+            cli.options.profiling = true;
+        } else if (arg == "--events") {
+            cli.eventsPath = takeValue("--events");
+            if (cli.eventsPath.empty())
+                fatal("--events: missing value");
+        } else if (arg == "--progress") {
+            cli.options.progress = true;
         } else {
             cli.positional.push_back(std::move(arg));
         }
@@ -335,22 +415,54 @@ parseCampaignCli(int argc, char **argv)
     return cli;
 }
 
+namespace {
+
+bool
+writeTextFile(const std::string &text, const std::string &path,
+              const char *what)
+{
+    if (path.empty())
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("%s: cannot open '%s': %s", what, path.c_str(),
+              std::strerror(errno));
+    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+    const int closed = std::fclose(f);
+    if (written != text.size() || closed != 0)
+        fatal("%s: short write to '%s'", what, path.c_str());
+    return true;
+}
+
+} // namespace
+
 bool
 writeCampaignJsonl(const CampaignResult &result,
                    const std::string &path)
 {
     if (path.empty())
         return false;
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("writeCampaignJsonl: cannot open '%s': %s", path.c_str(),
-              std::strerror(errno));
-    const std::string text = result.jsonl();
-    const size_t written = std::fwrite(text.data(), 1, text.size(), f);
-    const int closed = std::fclose(f);
-    if (written != text.size() || closed != 0)
-        fatal("writeCampaignJsonl: short write to '%s'", path.c_str());
-    return true;
+    return writeTextFile(result.jsonl(), path, "writeCampaignJsonl");
+}
+
+bool
+writeCampaignStatsJson(const CampaignResult &result,
+                       const std::string &path)
+{
+    if (path.empty())
+        return false;
+    return writeTextFile(result.statsJson() + "\n", path,
+                         "writeCampaignStatsJson");
+}
+
+bool
+writeCampaignEventsJsonl(const CampaignResult &result,
+                         const std::string &path)
+{
+    if (path.empty())
+        return false;
+    return writeTextFile(result.eventsJsonl(), path,
+                         "writeCampaignEventsJsonl");
 }
 
 } // namespace vguard::core

@@ -32,6 +32,8 @@
 
 #include "core/experiments.hpp"
 #include "isa/program.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "util/stats.hpp"
 
 namespace vguard::core {
@@ -74,6 +76,15 @@ struct CampaignResult
     RunningStat ipc;               ///< per-run IPC distribution
     Histogram mergedHist{0.90, 1.10, 80};  ///< all runs' voltage samples
 
+    /**
+     * Submission-order merge of every run's per-run stats snapshot
+     * (Sum/Min/Max/Last per entry's MergeRule) — deterministic for
+     * any thread count.
+     */
+    obs::Snapshot mergedStats;
+    /** Summed wall-clock phase profile (nondeterministic). */
+    obs::ProfileData profile;
+
     /** Wall-clock measurement; informational only — deliberately NOT
         part of the JSONL artifact, which must be thread-count
         independent. */
@@ -87,6 +98,21 @@ struct CampaignResult
      * campaign seed.
      */
     std::string jsonl() const;
+
+    /**
+     * The --stats-json document: {"campaign": summary, "stats":
+     * mergedStats nested by dotted group, "profile": phases,
+     * "wall_seconds": t}. Everything except "profile"/"wall_seconds"
+     * is byte-deterministic for any thread count (DESIGN.md §6).
+     */
+    std::string statsJson() const;
+
+    /**
+     * Every run's emergency events as JSONL in submission order, each
+     * record carrying its run index/name and activity fingerprint.
+     * Byte-deterministic for any thread count.
+     */
+    std::string eventsJsonl() const;
 };
 
 /** The work-stealing campaign engine. */
@@ -105,6 +131,14 @@ class CampaignEngine
          * RunSpec::noiseSeed verbatim.
          */
         bool deriveSeeds = true;
+        /**
+         * Force RunSpec::profiling on for every job (wall-clock phase
+         * sampling; results untouched). Set by --stats-json.
+         */
+        bool profiling = false;
+        /** Print a progress line as each run completes (--progress).
+            Completion order is nondeterministic; artifacts are not. */
+        bool progress = false;
     };
 
     CampaignEngine() : CampaignEngine(Options{}) {}
@@ -137,15 +171,18 @@ struct CampaignCli
 {
     CampaignEngine::Options options;
     std::string jsonlPath;                 ///< --jsonl FILE; "" = none
+    std::string statsJsonPath;             ///< --stats-json FILE
+    std::string eventsPath;                ///< --events FILE
     std::vector<std::string> positional;   ///< everything unrecognised
 };
 
 /**
  * Parse the shared campaign flags out of argv: `--threads N`,
- * `--seed S`, `--jsonl FILE` (also `--flag=value` forms). Unknown
- * arguments are returned as positionals in order; malformed values are
- * fatal(). Shared by the bench binaries and examples so every sweep
- * exposes the same knobs.
+ * `--seed S`, `--jsonl FILE`, `--stats-json FILE` (implies
+ * profiling), `--events FILE`, `--progress` (also `--flag=value`
+ * forms). Unknown arguments are returned as positionals in order;
+ * malformed values are fatal(). Shared by the bench binaries and
+ * examples so every sweep exposes the same knobs.
  */
 CampaignCli parseCampaignCli(int argc, char **argv);
 
@@ -155,6 +192,14 @@ CampaignCli parseCampaignCli(int argc, char **argv);
  */
 bool writeCampaignJsonl(const CampaignResult &result,
                         const std::string &path);
+
+/** Write result.statsJson() to @p path (same contract). */
+bool writeCampaignStatsJson(const CampaignResult &result,
+                            const std::string &path);
+
+/** Write result.eventsJsonl() to @p path (same contract). */
+bool writeCampaignEventsJsonl(const CampaignResult &result,
+                              const std::string &path);
 
 } // namespace vguard::core
 

@@ -48,6 +48,19 @@ class ThresholdController
     const Actuator &actuator() const { return actuator_; }
     const ThresholdSensor &sensor() const { return sensor_; }
 
+    /**
+     * Bind the whole control loop into @p r: sensor counters under
+     * `<prefix>.sensor.*`, actuator counters under
+     * `<prefix>.actuator.*`.
+     */
+    void
+    registerStats(obs::Registry &r,
+                  const std::string &prefix = "ctrl") const
+    {
+        sensor_.registerStats(r, prefix + ".sensor");
+        actuator_.registerStats(r, prefix + ".actuator");
+    }
+
   private:
     ThresholdSensor sensor_;
     Actuator actuator_;

@@ -165,6 +165,7 @@ makeSimConfig(const RunSpec &spec)
     cfg.package = referencePackage(spec.impedanceScale);
     cfg.useConvolution = spec.useConvolution;
     cfg.actuator = spec.actuator;
+    cfg.profiling = spec.profiling;
     if (spec.controllerEnabled) {
         const Thresholds &th = referenceThresholds(
             spec.impedanceScale, spec.delayCycles, spec.sensorError);

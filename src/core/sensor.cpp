@@ -33,11 +33,16 @@ ThresholdSensor::observe(double vNow)
                                       cfg_.noiseMagnitude);
     }
     lastReading_ = reading;
+    ++observes_;
 
-    if (reading < cfg_.vLow)
+    if (reading < cfg_.vLow) {
+        ++lowReadings_;
         return VoltageLevel::Low;
-    if (reading > cfg_.vHigh)
+    }
+    if (reading > cfg_.vHigh) {
+        ++highReadings_;
         return VoltageLevel::High;
+    }
     return VoltageLevel::Normal;
 }
 
@@ -48,6 +53,23 @@ ThresholdSensor::reset(double vFill)
         v = vFill;
     head_ = 0;
     lastReading_ = vFill;
+}
+
+void
+ThresholdSensor::registerStats(obs::Registry &r,
+                               const std::string &prefix) const
+{
+    r.derivedCounter(prefix + ".observes", "sensor observations",
+                     [this] { return observes_; });
+    r.derivedCounter(prefix + ".low_readings",
+                     "observations reported Low",
+                     [this] { return lowReadings_; });
+    r.derivedCounter(prefix + ".high_readings",
+                     "observations reported High",
+                     [this] { return highReadings_; });
+    r.derivedGauge(prefix + ".last_reading",
+                   "last delayed/noisy reading [V]",
+                   [this] { return lastReading_; });
 }
 
 } // namespace vguard::core

@@ -21,8 +21,10 @@
 #define VGUARD_CORE_SENSOR_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "util/rng.hpp"
 
 namespace vguard::core {
@@ -76,12 +78,29 @@ class ThresholdSensor
 
     const SensorConfig &config() const { return cfg_; }
 
+    /** Total observe() calls. */
+    uint64_t observes() const { return observes_; }
+    /** observe() calls that reported Low. */
+    uint64_t lowReadings() const { return lowReadings_; }
+    /** observe() calls that reported High. */
+    uint64_t highReadings() const { return highReadings_; }
+
+    /**
+     * Bind sensor telemetry into @p r: observation/level counters and
+     * the last raw reading under `<prefix>.`.
+     */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
+
   private:
     SensorConfig cfg_;
     std::vector<double> history_;  ///< delay line (delay + 1 readings)
     size_t head_ = 0;
     Rng rng_;
     double lastReading_ = 0.0;
+    uint64_t observes_ = 0;
+    uint64_t lowReadings_ = 0;
+    uint64_t highReadings_ = 0;
 };
 
 } // namespace vguard::core

@@ -11,7 +11,12 @@ VoltageSim::VoltageSim(const VoltageSimConfig &cfg, isa::Program program)
     : cfg_(cfg), core_(cfg.cpu, std::move(program)),
       power_(cfg.power, cfg.cpu),
       pdn_(pdn::PackageModel(cfg.package)),
-      vNominal_(cfg.package.vNominal)
+      vNominal_(cfg.package.vNominal),
+      tracker_(cfg.package.vNominal * (1.0 - cfg.band),
+               cfg.package.vNominal * (1.0 + cfg.band),
+               cfg.fingerprintWindow, cfg.maxEvents),
+      profiling_(cfg.profiling),
+      vMinSeen_(cfg.package.vNominal), vMaxSeen_(cfg.package.vNominal)
 {
     // Paper regulator convention: the die sits at nominal voltage when
     // the processor draws its minimum (fully gated) current.
@@ -25,25 +30,80 @@ VoltageSim::VoltageSim(const VoltageSimConfig &cfg, isa::Program program)
     if (cfg_.sensor)
         controller_.emplace(*cfg_.sensor, cfg_.actuator,
                             cfg_.phantomActuator.value_or(cfg_.actuator));
+
+    // Bind every component into the hierarchical registry (gem5
+    // style: counters stay plain members; the registry reads them at
+    // snapshot time).
+    core_.registerStats(registry_, "cpu");
+    power_.registerStats(registry_, "power", 1.0 / cfg_.cpu.clockHz);
+    pdn_.registerStats(registry_, "pdn");
+    if (controller_)
+        controller_->registerStats(registry_, "ctrl");
+
+    registry_.derivedCounter("pdn.emergencies.count",
+                             "cycles outside the operating band",
+                             [this] { return emLow_ + emHigh_; });
+    registry_.derivedCounter("pdn.emergencies.low",
+                             "cycles below the band",
+                             [this] { return emLow_; });
+    registry_.derivedCounter("pdn.emergencies.high",
+                             "cycles above the band",
+                             [this] { return emHigh_; });
+    registry_.derivedCounter(
+        "pdn.emergencies.episodes",
+        "distinct band excursions (event-log entries + dropped)",
+        [this] { return tracker_.log().total(); });
+    registry_.derivedCounter("pdn.emergencies.dropped",
+                             "episodes dropped by the full event log",
+                             [this] { return tracker_.log().dropped(); });
+    registry_.derivedGauge("pdn.v.min", "lowest die voltage seen [V]",
+                           [this] { return vMinSeen_; },
+                           obs::MergeRule::Min);
+    registry_.derivedGauge("pdn.v.max", "highest die voltage seen [V]",
+                           [this] { return vMaxSeen_; },
+                           obs::MergeRule::Max);
 }
 
 TraceSample
 VoltageSim::step()
 {
-    const auto &av = core_.cycle();
-    const double amps = power_.current(av);
-    const double volts =
-        cfg_.useConvolution ? conv_->step(amps) : pdn_.step(amps);
+    // Sampled profiling: p is nullptr on unsampled cycles (and always
+    // when profiling is off), making every ScopedTimer below trivial.
+    obs::Profiler *p =
+        profiling_ ? profiler_.beginCycle(cycle_) : nullptr;
+    lastProf_ = p;
 
-    if (controller_)
+    const cpu::ActivityVector *av;
+    {
+        obs::ScopedTimer t(p, obs::Phase::CpuStep);
+        av = &core_.cycle();
+    }
+    lastAv_ = av;
+
+    double amps;
+    {
+        obs::ScopedTimer t(p, obs::Phase::Power);
+        amps = power_.current(*av);
+    }
+
+    double volts;
+    {
+        obs::ScopedTimer t(p, obs::Phase::Pdn);
+        volts = cfg_.useConvolution ? conv_->step(amps)
+                                    : pdn_.step(amps);
+    }
+
+    if (controller_) {
+        obs::ScopedTimer t(p, obs::Phase::Control);
         controller_->step(volts, core_);
+    }
 
     TraceSample s;
     s.cycle = cycle_++;
     s.amps = amps;
     s.volts = volts;
-    s.gated = av.gates.any();
-    s.phantom = av.phantom.any();
+    s.gated = av->gates.any();
+    s.phantom = av->phantom.any();
     return s;
 }
 
@@ -61,6 +121,12 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
     if (controller_)
         controller_->resetCounters();
 
+    // Per-run observability windows: events restart fresh; registry
+    // counters are cumulative, so diff a snapshot taken here.
+    tracker_.clear();
+    profiler_.clear();
+    const obs::Snapshot before = registry_.snapshot();
+
     const double vLoBound = vNominal_ * (1.0 - cfg_.band);
     const double vHiBound = vNominal_ * (1.0 + cfg_.band);
     const double dt = 1.0 / cfg_.cpu.clockHz;
@@ -75,11 +141,31 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
         res.minV = std::min(res.minV, s.volts);
         res.maxV = std::max(res.maxV, s.volts);
         res.voltageHist.add(s.volts);
-        if (s.volts < vLoBound)
+        if (s.volts < vLoBound) {
             ++res.lowEmergencyCycles;
-        else if (s.volts > vHiBound)
+            ++emLow_;
+        } else if (s.volts > vHiBound) {
             ++res.highEmergencyCycles;
+            ++emHigh_;
+        }
+
+        {
+            obs::ScopedTimer t(lastProf_, obs::Phase::Events);
+            obs::EmergencyTracker::ControlState ctrl;
+            if (controller_) {
+                ctrl.sensorLevel =
+                    static_cast<int>(controller_->lastLevel());
+                ctrl.sensorReading =
+                    controller_->sensor().lastReading();
+            }
+            ctrl.gating = s.gated;
+            ctrl.phantom = s.phantom;
+            tracker_.step(s.cycle, s.volts, *lastAv_, ctrl);
+        }
     }
+    tracker_.finish();
+    vMinSeen_ = std::min(vMinSeen_, res.minV);
+    vMaxSeen_ = std::max(vMaxSeen_, res.maxV);
 
     res.cycles = cycles;
     res.committed = core_.stats().committed;
@@ -93,6 +179,9 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
         res.lowTriggers = act.lowTriggers();
         res.highTriggers = act.highTriggers();
     }
+    res.stats = registry_.snapshot().diff(before);
+    res.events = tracker_.log();
+    res.profile = profiler_.data();
     return res;
 }
 

@@ -17,6 +17,9 @@
 
 #include "core/controller.hpp"
 #include "cpu/core.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
 #include "pdn/partitioned_convolver.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "power/wattch.hpp"
@@ -45,6 +48,13 @@ struct VoltageSimConfig
     double histLo = 0.90;
     double histHi = 1.10;
     size_t histBins = 80;
+
+    /** Enable sampled wall-clock phase profiling (see obs/profile). */
+    bool profiling = false;
+    /** Activity-fingerprint window per emergency event [cycles]. */
+    size_t fingerprintWindow = 32;
+    /** Emergency event-log capacity per run. */
+    size_t maxEvents = 4096;
 };
 
 /** Results of a run. */
@@ -64,6 +74,14 @@ struct VoltageSimResult
     uint64_t lowTriggers = 0;
     uint64_t highTriggers = 0;
     Histogram voltageHist{0.90, 1.10, 80};
+
+    /** Per-run hierarchical stats (interval diff of the registry). */
+    obs::Snapshot stats;
+    /** Emergency episodes of this run, each with its fingerprint. */
+    obs::EventLog events;
+    /** Sampled wall-clock phases (empty unless profiling enabled);
+        nondeterministic — never part of deterministic artifacts. */
+    obs::ProfileData profile;
 
     uint64_t
     emergencyCycles() const
@@ -95,6 +113,11 @@ class VoltageSim
   public:
     VoltageSim(const VoltageSimConfig &cfg, isa::Program program);
 
+    // The stats registry binds callbacks to component addresses, so
+    // the sim must stay put.
+    VoltageSim(const VoltageSim &) = delete;
+    VoltageSim &operator=(const VoltageSim &) = delete;
+
     /**
      * Advance one cycle; returns the sample (current, voltage,
      * controller state).
@@ -115,6 +138,11 @@ class VoltageSim
     const power::WattchModel &powerModel() const { return power_; }
     const VoltageSimConfig &config() const { return cfg_; }
 
+    /** The hierarchical stats registry of this sim's components. */
+    const obs::Registry &registry() const { return registry_; }
+    /** Current cumulative values of every registered stat. */
+    obs::Snapshot statsSnapshot() const { return registry_.snapshot(); }
+
   private:
     VoltageSimConfig cfg_;
     cpu::OoOCore core_;
@@ -127,6 +155,24 @@ class VoltageSim
     std::optional<ThresholdController> controller_;
     uint64_t cycle_ = 0;
     double vNominal_;
+
+    // Observability: registry over all components, per-run emergency
+    // episode tracker, sampled phase profiler.
+    obs::Registry registry_;
+    obs::EmergencyTracker tracker_;
+    obs::Profiler profiler_;
+    bool profiling_ = false;
+    /** This cycle's activity / sampled-profiler handle (set by
+        step(), consumed by run()'s event tracking). */
+    const cpu::ActivityVector *lastAv_ = nullptr;
+    obs::Profiler *lastProf_ = nullptr;
+
+    // Cumulative (whole-sim-lifetime) counters bound into registry_;
+    // run() reports per-run values via snapshot diffs.
+    uint64_t emLow_ = 0;
+    uint64_t emHigh_ = 0;
+    double vMinSeen_;
+    double vMaxSeen_;
 };
 
 } // namespace vguard::core

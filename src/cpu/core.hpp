@@ -22,6 +22,7 @@
 #define VGUARD_CPU_CORE_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "cpu/activity.hpp"
@@ -30,6 +31,7 @@
 #include "cpu/config.hpp"
 #include "cpu/func_units.hpp"
 #include "isa/executor.hpp"
+#include "obs/metrics.hpp"
 
 namespace vguard::cpu {
 
@@ -94,6 +96,16 @@ class OoOCore
     const MemHierarchy &mem() const { return mem_; }
     const CpuConfig &config() const { return cfg_; }
     uint64_t now() const { return now_; }
+
+    /**
+     * Bind the core's counters into @p r under `<prefix>.` groups
+     * (fetch/dispatch/issue/commit/mem/bpred/icache/dcache/l2) — the
+     * gem5 pattern: counters stay plain members on the hot path, the
+     * registry reads them via callbacks at snapshot time. The core
+     * must outlive @p r's last snapshot().
+     */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix = "cpu") const;
 
   private:
     enum class State : uint8_t {

@@ -1,0 +1,61 @@
+#include "obs/profile.hpp"
+
+#include "util/jsonl.hpp"
+#include "util/logging.hpp"
+
+namespace vguard::obs {
+
+namespace {
+
+constexpr const char *kPhaseNames[kNumPhases] = {
+    "cpu_step", "power", "pdn", "control", "events",
+};
+
+} // namespace
+
+const char *
+phaseName(size_t phase)
+{
+    if (phase >= kNumPhases)
+        panic("phaseName: phase %zu out of range", phase);
+    return kPhaseNames[phase];
+}
+
+void
+ProfileData::merge(const ProfileData &other)
+{
+    for (size_t i = 0; i < kNumPhases; ++i) {
+        ns[i] += other.ns[i];
+        samples[i] += other.samples[i];
+    }
+    cyclesTotal += other.cyclesTotal;
+    cyclesSampled += other.cyclesSampled;
+}
+
+std::string
+ProfileData::json() const
+{
+    uint64_t totalNs = 0;
+    for (uint64_t n : ns)
+        totalNs += n;
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("cycles_total", cyclesTotal);
+    w.field("cycles_sampled", cyclesSampled);
+    w.key("phases").beginObject();
+    for (size_t i = 0; i < kNumPhases; ++i) {
+        w.key(kPhaseNames[i]).beginObject();
+        w.field("ns", ns[i]);
+        w.field("samples", samples[i]);
+        w.field("share", totalNs
+                             ? double(ns[i]) / double(totalNs)
+                             : 0.0);
+        w.endObject();
+    }
+    w.endObject();
+    w.endObject();
+    return w.take();
+}
+
+} // namespace vguard::obs

@@ -29,7 +29,23 @@ PdnSim::step(double amps)
     u_[1] = amps;
     const double v = dss_.output(x_, u_);
     dss_.next(x_, u_);
+    ++steps_;
     return v;
+}
+
+void
+PdnSim::registerStats(obs::Registry &r,
+                      const std::string &prefix) const
+{
+    r.derivedCounter(prefix + ".steps", "PDN cycles stepped",
+                     [this] { return steps_; });
+    r.derivedGauge(prefix + ".vdd_setpoint",
+                   "regulator set point [V]",
+                   [this] { return vdd_; });
+    r.derivedGauge(prefix + ".v_nominal", "nominal die voltage [V]",
+                   [this] { return vNominal(); });
+    r.derivedGauge(prefix + ".i_trim", "regulator trim current [A]",
+                   [this] { return iTrim_; });
 }
 
 std::vector<double>

@@ -13,8 +13,11 @@
 #ifndef VGUARD_PDN_PDN_SIM_HPP
 #define VGUARD_PDN_PDN_SIM_HPP
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "pdn/package_model.hpp"
 
 namespace vguard::pdn {
@@ -55,6 +58,16 @@ class PdnSim
 
     const PackageModel &model() const { return model_; }
 
+    /** Cycles stepped since construction. */
+    uint64_t steps() const { return steps_; }
+
+    /**
+     * Bind PDN telemetry into @p r: `<prefix>.steps`, the regulator
+     * set point and the trim current. Must outlive @p r's snapshots.
+     */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix = "pdn") const;
+
     /** Raw state access for checkpoint/restore in solver searches. */
     const std::vector<double> &state() const { return x_; }
     void setState(const std::vector<double> &x) { x_ = x; }
@@ -68,6 +81,7 @@ class PdnSim
     mutable std::vector<double> u_{0.0, 0.0};
     double vdd_;                 ///< regulator set point
     double iTrim_ = 0.0;
+    uint64_t steps_ = 0;
 };
 
 } // namespace vguard::pdn

@@ -148,9 +148,34 @@ WattchModel::power(const ActivityVector &av)
         (pcfg_.clockFixedFrac + (1.0 - pcfg_.clockFixedFrac) * ungatedFrac);
 
     double total = 0.0;
-    for (double v : p)
-        total += v;
+    for (size_t u = 0; u < kNumUnits; ++u) {
+        total += p[u];
+        wattCycles_[u] += p[u];
+    }
     return total;
+}
+
+void
+WattchModel::registerStats(obs::Registry &r, const std::string &prefix,
+                           double dtSeconds) const
+{
+    for (size_t u = 0; u < kNumUnits; ++u) {
+        r.derivedGauge(
+            prefix + "." + unitName(static_cast<Unit>(u)) + ".energy_j",
+            std::string("dynamic energy of the ") +
+                unitName(static_cast<Unit>(u)) + " [J]",
+            [this, u, dtSeconds] { return wattCycles_[u] * dtSeconds; },
+            obs::MergeRule::Sum);
+    }
+    r.derivedGauge(
+        prefix + ".total.energy_j", "total dynamic energy [J]",
+        [this, dtSeconds] {
+            double sum = 0.0;
+            for (double wc : wattCycles_)
+                sum += wc;
+            return sum * dtSeconds;
+        },
+        obs::MergeRule::Sum);
 }
 
 double

@@ -27,9 +27,11 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
 #include "cpu/activity.hpp"
 #include "cpu/config.hpp"
+#include "obs/metrics.hpp"
 
 namespace vguard::power {
 
@@ -133,6 +135,24 @@ class WattchModel
         return last_;
     }
 
+    /**
+     * Accumulated watt-cycles per unit (sum of every power() call's
+     * breakdown); multiply by the clock period for joules.
+     */
+    const std::array<double, kNumUnits> &
+    wattCycles() const
+    {
+        return wattCycles_;
+    }
+
+    /**
+     * Bind per-unit energy (and total) into @p r as
+     * `<prefix>.<unit>.energy_j` derived gauges (MergeRule::Sum).
+     * @p dtSeconds converts accumulated watt-cycles to joules.
+     */
+    void registerStats(obs::Registry &r, const std::string &prefix,
+                       double dtSeconds) const;
+
     const PowerConfig &config() const { return pcfg_; }
 
   private:
@@ -142,6 +162,7 @@ class WattchModel
     PowerConfig pcfg_;
     cpu::CpuConfig ccfg_;
     std::array<double, kNumUnits> last_{};
+    std::array<double, kNumUnits> wattCycles_{};
 };
 
 } // namespace vguard::power

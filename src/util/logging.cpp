@@ -1,32 +1,64 @@
 #include "util/logging.hpp"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
+#include <string>
 
 namespace vguard {
 
 namespace {
-Verbosity g_verbosity = Verbosity::Normal;
 
+// Campaign workers read (inform) and the CLI writes (setVerbosity)
+// concurrently, so this must be atomic.
+std::atomic<Verbosity> g_verbosity{Verbosity::Normal};
+
+/**
+ * Format the whole "prefix + message + newline" into one buffer and
+ * emit it with a single fwrite, so concurrent warn()/inform() calls
+ * from campaign workers cannot interleave mid-line (stdio locks each
+ * call individually, not a sequence of three).
+ */
 void
 vprint(FILE *to, const char *prefix, const char *fmt, va_list ap)
 {
-    std::fputs(prefix, to);
-    std::vfprintf(to, fmt, ap);
-    std::fputc('\n', to);
+    char stackBuf[512];
+    va_list apCopy;
+    va_copy(apCopy, ap);
+    int msgLen = std::vsnprintf(stackBuf, sizeof(stackBuf), fmt, apCopy);
+    va_end(apCopy);
+    if (msgLen < 0) {
+        std::fputs(prefix, to);
+        std::fputs("<format error>\n", to);
+        return;
+    }
+
+    std::string line(prefix);
+    if (static_cast<size_t>(msgLen) < sizeof(stackBuf)) {
+        line.append(stackBuf, static_cast<size_t>(msgLen));
+    } else {
+        // Message overflowed the stack buffer: format again into a
+        // right-sized heap buffer.
+        std::string big(static_cast<size_t>(msgLen) + 1, '\0');
+        std::vsnprintf(big.data(), big.size(), fmt, ap);
+        line.append(big.data(), static_cast<size_t>(msgLen));
+    }
+    line.push_back('\n');
+    std::fwrite(line.data(), 1, line.size(), to);
 }
+
 } // namespace
 
 void
 setVerbosity(Verbosity v)
 {
-    g_verbosity = v;
+    g_verbosity.store(v, std::memory_order_relaxed);
 }
 
 Verbosity
 verbosity()
 {
-    return g_verbosity;
+    return g_verbosity.load(std::memory_order_relaxed);
 }
 
 void
@@ -61,7 +93,7 @@ warn(const char *fmt, ...)
 void
 inform(const char *fmt, ...)
 {
-    if (g_verbosity == Verbosity::Quiet)
+    if (verbosity() == Verbosity::Quiet)
         return;
     va_list ap;
     va_start(ap, fmt);
@@ -72,7 +104,7 @@ inform(const char *fmt, ...)
 void
 informDebug(const char *fmt, ...)
 {
-    if (g_verbosity != Verbosity::Debug)
+    if (verbosity() != Verbosity::Debug)
         return;
     va_list ap;
     va_start(ap, fmt);

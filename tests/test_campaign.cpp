@@ -206,6 +206,80 @@ TEST(Campaign, ThreadCountIndependent)
     }
 }
 
+TEST(Campaign, StatsAndEventsThreadCountIndependent)
+{
+    // The observability artifacts obey the same determinism contract
+    // as the JSONL: merged stats and the campaign-wide event log are
+    // byte-identical for any thread count, with profiling enabled
+    // (profiling samples wall-clock but never touches results).
+    CampaignEngine::Options base;
+    base.campaignSeed = 0xfeedface;
+    base.profiling = true;
+
+    std::vector<CampaignResult> results;
+    for (unsigned threads : {1u, 2u, 8u}) {
+        CampaignEngine::Options o = base;
+        o.threads = threads;
+        results.push_back(CampaignEngine(o).run(mixedJobs()));
+    }
+
+    const std::string stats0 = results[0].mergedStats.json();
+    const std::string events0 = results[0].eventsJsonl();
+    EXPECT_FALSE(results[0].mergedStats.empty());
+    for (size_t r = 1; r < results.size(); ++r) {
+        EXPECT_EQ(results[r].mergedStats.json(), stats0);
+        EXPECT_EQ(results[r].eventsJsonl(), events0);
+    }
+
+    // Profiling on vs off: the deterministic artifacts are untouched.
+    CampaignEngine::Options plain = base;
+    plain.profiling = false;
+    plain.threads = 2;
+    const CampaignResult unprofiled =
+        CampaignEngine(plain).run(mixedJobs());
+    EXPECT_EQ(unprofiled.jsonl(), results[0].jsonl());
+    EXPECT_EQ(unprofiled.mergedStats.json(), stats0);
+    EXPECT_EQ(unprofiled.eventsJsonl(), events0);
+    // ...while the profile section only exists when enabled.
+    EXPECT_TRUE(unprofiled.profile.empty());
+    EXPECT_FALSE(results[0].profile.empty());
+
+    // The merged aggregate agrees with the headline totals.
+    EXPECT_EQ(results[0].mergedStats.counterValue(
+                  "pdn.emergencies.count"),
+              results[0].totalEmergencyCycles);
+    EXPECT_EQ(results[0].mergedStats.counterValue("cpu.cycles"),
+              results[0].totalCycles);
+}
+
+TEST(Campaign, StatsJsonShape)
+{
+    CampaignEngine::Options o;
+    o.threads = 2;
+    o.profiling = true;
+    const CampaignResult res = CampaignEngine(o).run(mixedJobs());
+    const std::string doc = res.statsJson();
+    EXPECT_NE(doc.find("\"campaign\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"stats\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"profile\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"wall_seconds\":"), std::string::npos);
+    EXPECT_NE(doc.find("\"pdn\":{"), std::string::npos);
+    EXPECT_NE(doc.find("\"emergencies\":{"), std::string::npos);
+}
+
+TEST(Campaign, CliParsesObservabilityFlags)
+{
+    const char *argv[] = {"prog", "--stats-json", "s.json",
+                          "--events=e.jsonl", "--progress"};
+    const CampaignCli cli =
+        parseCampaignCli(5, const_cast<char **>(argv));
+    EXPECT_EQ(cli.statsJsonPath, "s.json");
+    EXPECT_EQ(cli.eventsPath, "e.jsonl");
+    EXPECT_TRUE(cli.options.progress);
+    EXPECT_TRUE(cli.options.profiling) << "--stats-json implies "
+                                          "profiling";
+}
+
 TEST(Campaign, PerRunSeedsAreDerived)
 {
     CampaignEngine::Options o;

@@ -1,0 +1,508 @@
+/**
+ * @file
+ * Tests for src/obs — the hierarchical stats registry, the emergency
+ * event log with activity fingerprints, and the phase profiler —
+ * plus their integration into VoltageSim (per-run stats snapshots and
+ * event capture on an emergency-producing workload).
+ */
+
+#include <cmath>
+#include <limits>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/experiments.hpp"
+#include "core/voltage_sim.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "obs/profile.hpp"
+#include "pdn/package_model.hpp"
+#include "workloads/kernels.hpp"
+#include "workloads/stressmark.hpp"
+
+namespace {
+
+using namespace vguard;
+using namespace vguard::obs;
+
+// ------------------------------------------------------------ registry
+
+TEST(Registry, OwnedCounterAndGaugeRoundTrip)
+{
+    Registry r;
+    Counter &c = r.counter("cpu.commit.insts", "committed");
+    Gauge &g = r.gauge("cpu.commit.ipc", "ipc");
+    c.inc(41);
+    c.inc();
+    g.set(1.25);
+    const Snapshot s = r.snapshot();
+    EXPECT_EQ(s.counterValue("cpu.commit.insts"), 42u);
+    EXPECT_DOUBLE_EQ(s.gaugeValue("cpu.commit.ipc"), 1.25);
+    EXPECT_EQ(s.size(), 2u);
+}
+
+TEST(Registry, GaugeStartsNaN)
+{
+    Registry r;
+    r.gauge("g", "unsampled");
+    const Snapshot s = r.snapshot();
+    const SnapshotEntry *e = s.find("g");
+    ASSERT_NE(e, nullptr);
+    EXPECT_TRUE(std::isnan(e->d));
+}
+
+TEST(Registry, DerivedEntriesReadAtSnapshotTime)
+{
+    Registry r;
+    uint64_t hits = 0;
+    double temp = 0.0;
+    r.derivedCounter("cache.hits", "hits", [&] { return hits; });
+    r.derivedGauge("die.temp", "temp", [&] { return temp; });
+    hits = 7;
+    temp = 85.5;
+    Snapshot s = r.snapshot();
+    EXPECT_EQ(s.counterValue("cache.hits"), 7u);
+    EXPECT_DOUBLE_EQ(s.gaugeValue("die.temp"), 85.5);
+    hits = 9; // later snapshots see the new value
+    s = r.snapshot();
+    EXPECT_EQ(s.counterValue("cache.hits"), 9u);
+}
+
+TEST(Registry, HistogramSnapshotIsFrozenCopy)
+{
+    Registry r;
+    HistStat &h = r.histogram("pdn.v", "voltage", 0.9, 1.1, 10);
+    h.add(1.0);
+    const Snapshot s1 = r.snapshot();
+    h.add(1.0);
+    const SnapshotEntry *e = s1.find("pdn.v");
+    ASSERT_NE(e, nullptr);
+    ASSERT_NE(e->hist, nullptr);
+    EXPECT_EQ(e->hist->total(), 1u); // not affected by the later add
+}
+
+TEST(Registry, RejectsDuplicateNames)
+{
+    Registry r;
+    r.counter("a.b", "first");
+    EXPECT_EXIT(r.counter("a.b", "again"),
+                ::testing::ExitedWithCode(1), "duplicate");
+}
+
+TEST(Registry, RejectsLeafGroupCollision)
+{
+    Registry r;
+    r.counter("a.b", "leaf");
+    // "a.b" is a leaf; "a.b.c" would make it a group too.
+    EXPECT_EXIT(r.counter("a.b.c", "child"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(Registry, RejectsBadCharactersAndEmptySegments)
+{
+    Registry r;
+    EXPECT_EXIT(r.counter("Has.Upper", ""),
+                ::testing::ExitedWithCode(1), "");
+    EXPECT_EXIT(r.counter("a..b", ""), ::testing::ExitedWithCode(1),
+                "");
+    EXPECT_EXIT(r.counter("", ""), ::testing::ExitedWithCode(1), "");
+}
+
+// ------------------------------------------------------------ snapshot
+
+TEST(Snapshot, EntriesSortedAndFindable)
+{
+    Snapshot s;
+    s.setCounter("z.last", 1);
+    s.setCounter("a.first", 2);
+    s.setCounter("m.mid", 3);
+    ASSERT_EQ(s.size(), 3u);
+    EXPECT_EQ(s.entries()[0].name, "a.first");
+    EXPECT_EQ(s.entries()[2].name, "z.last");
+    EXPECT_EQ(s.counterValue("m.mid"), 3u);
+    EXPECT_EQ(s.find("absent"), nullptr);
+    EXPECT_EQ(s.counterValue("absent", 99), 99u);
+}
+
+TEST(Snapshot, MergeFollowsRules)
+{
+    Snapshot a;
+    a.setCounter("n.sum", 10, MergeRule::Sum);
+    a.setGauge("n.min", 3.0, MergeRule::Min);
+    a.setGauge("n.max", 3.0, MergeRule::Max);
+    a.setGauge("n.last", 1.0, MergeRule::Last);
+
+    Snapshot b;
+    b.setCounter("n.sum", 32, MergeRule::Sum);
+    b.setGauge("n.min", 2.0, MergeRule::Min);
+    b.setGauge("n.max", 2.0, MergeRule::Max);
+    b.setGauge("n.last", 7.0, MergeRule::Last);
+    b.setCounter("n.only_b", 5);
+
+    a.merge(b);
+    EXPECT_EQ(a.counterValue("n.sum"), 42u);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("n.min"), 2.0);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("n.max"), 3.0);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("n.last"), 7.0);
+    EXPECT_EQ(a.counterValue("n.only_b"), 5u); // inserted
+}
+
+TEST(Snapshot, MergeNaNGaugeNeverBeatsRealSample)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    Snapshot a;
+    a.setGauge("g.min", 1.5, MergeRule::Min);
+    a.setGauge("g.last", 2.5, MergeRule::Last);
+    Snapshot b;
+    b.setGauge("g.min", nan, MergeRule::Min);
+    b.setGauge("g.last", nan, MergeRule::Last);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("g.min"), 1.5);
+    EXPECT_DOUBLE_EQ(a.gaugeValue("g.last"), 2.5);
+
+    // ...and a real sample replaces NaN.
+    Snapshot c;
+    c.setGauge("g.v", nan, MergeRule::Min);
+    Snapshot d;
+    d.setGauge("g.v", 0.75, MergeRule::Min);
+    c.merge(d);
+    EXPECT_DOUBLE_EQ(c.gaugeValue("g.v"), 0.75);
+}
+
+TEST(Snapshot, MergeMatchesSubmissionOrderAssociativity)
+{
+    // (a + b) + c == a + (b + c): merging must be associative, or the
+    // campaign aggregate would depend on scheduling.
+    auto mk = [](uint64_t n, double v) {
+        Snapshot s;
+        s.setCounter("c", n, MergeRule::Sum);
+        s.setGauge("min", v, MergeRule::Min);
+        s.setGauge("max", v, MergeRule::Max);
+        return s;
+    };
+    Snapshot left = mk(1, 3.0);
+    left.merge(mk(2, 1.0));
+    left.merge(mk(3, 2.0));
+
+    Snapshot tail = mk(2, 1.0);
+    tail.merge(mk(3, 2.0));
+    Snapshot right = mk(1, 3.0);
+    right.merge(tail);
+
+    EXPECT_EQ(left.json(), right.json());
+}
+
+TEST(Snapshot, DiffGivesIntervalSemantics)
+{
+    Snapshot before;
+    before.setCounter("c.ticks", 100);
+    before.setGauge("g.v", 0.5);
+    Snapshot after;
+    after.setCounter("c.ticks", 150);
+    after.setCounter("c.fresh", 7); // absent earlier: passes through
+    after.setGauge("g.v", 0.9);
+
+    const Snapshot d = after.diff(before);
+    EXPECT_EQ(d.counterValue("c.ticks"), 50u);
+    EXPECT_EQ(d.counterValue("c.fresh"), 7u);
+    EXPECT_DOUBLE_EQ(d.gaugeValue("g.v"), 0.9); // gauges: current value
+
+    // A counter that (pathologically) went backwards clamps at 0.
+    Snapshot shrunk;
+    shrunk.setCounter("c.ticks", 10);
+    EXPECT_EQ(shrunk.diff(before).counterValue("c.ticks"), 0u);
+}
+
+TEST(Snapshot, JsonNestsDottedGroups)
+{
+    Snapshot s;
+    s.setCounter("cpu.commit.insts", 10);
+    s.setCounter("cpu.fetch.insts", 20);
+    s.setGauge("pdn.v.min", 0.97, MergeRule::Min);
+    const std::string j = s.json();
+    EXPECT_NE(j.find("\"cpu\":{"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"commit\":{\"insts\":10}"), std::string::npos)
+        << j;
+    EXPECT_NE(j.find("\"fetch\":{\"insts\":20}"), std::string::npos)
+        << j;
+    EXPECT_NE(j.find("\"pdn\":{\"v\":{\"min\":0.97}}"),
+              std::string::npos)
+        << j;
+    // Deterministic: same content, same bytes.
+    EXPECT_EQ(j, s.json());
+}
+
+TEST(Snapshot, TableListsNamesAndValues)
+{
+    Snapshot s;
+    s.setCounter("cpu.cycles", 123, MergeRule::Sum, "total cycles");
+    const std::string t = s.table();
+    EXPECT_NE(t.find("cpu.cycles"), std::string::npos);
+    EXPECT_NE(t.find("123"), std::string::npos);
+    EXPECT_NE(t.find("total cycles"), std::string::npos);
+}
+
+// -------------------------------------------------------------- events
+
+cpu::ActivityVector
+activity(uint32_t alu, uint32_t commit)
+{
+    cpu::ActivityVector av{};
+    av.issuedIntAlu = alu;
+    av.committed = commit;
+    return av;
+}
+
+TEST(ActivityWindow, SlidingSumsEvictOldCycles)
+{
+    ActivityWindow w(4);
+    for (uint32_t i = 1; i <= 6; ++i)
+        w.record(activity(i, 1));
+    // Window holds cycles with alu counts 3,4,5,6.
+    EXPECT_EQ(w.sums()[size_t(FpChannel::IntAlu)], 3u + 4 + 5 + 6);
+    EXPECT_EQ(w.sums()[size_t(FpChannel::Commit)], 4u);
+    EXPECT_EQ(w.cyclesSeen(), 6u);
+    w.clear();
+    EXPECT_EQ(w.sums()[size_t(FpChannel::IntAlu)], 0u);
+    EXPECT_EQ(w.cyclesSeen(), 0u);
+}
+
+TEST(Events, ChannelNamesCoverAllChannels)
+{
+    for (size_t i = 0; i < kNumFpChannels; ++i)
+        EXPECT_NE(std::string(fpChannelName(i)), "");
+    cpu::ActivityVector av{};
+    av.regReads = 2;
+    av.regWrites = 3;
+    const auto c = fpChannelCounts(av);
+    EXPECT_EQ(c[size_t(FpChannel::RegFile)], 5u);
+}
+
+TEST(EventLog, CapacityBoundsAndCountsDropped)
+{
+    EventLog log(2);
+    log.push(EmergencyEvent{});
+    log.push(EmergencyEvent{});
+    log.push(EmergencyEvent{});
+    EXPECT_EQ(log.events().size(), 2u);
+    EXPECT_EQ(log.dropped(), 1u);
+    EXPECT_EQ(log.total(), 3u);
+    log.clear();
+    EXPECT_EQ(log.total(), 0u);
+}
+
+TEST(EmergencyTracker, OpensExtendsAndClosesEpisodes)
+{
+    EmergencyTracker tr(0.95, 1.05, 4, 16);
+    EmergencyTracker::ControlState ctrl;
+    ctrl.sensorLevel = 0; // "low"
+    ctrl.gating = true;
+
+    // In-band, then a 3-cycle dip, then back in band.
+    tr.step(0, 1.00, activity(1, 1), ctrl);
+    tr.step(1, 0.94, activity(2, 1), ctrl);
+    tr.step(2, 0.93, activity(3, 1), ctrl);
+    tr.step(3, 0.94, activity(4, 1), ctrl);
+    tr.step(4, 1.00, activity(5, 1), ctrl);
+    tr.finish();
+
+    ASSERT_EQ(tr.log().events().size(), 1u);
+    const EmergencyEvent &ev = tr.log().events()[0];
+    EXPECT_EQ(ev.entryCycle, 1u);
+    EXPECT_EQ(ev.durationCycles, 3u);
+    EXPECT_TRUE(ev.low);
+    EXPECT_DOUBLE_EQ(ev.vExtreme, 0.93);
+    EXPECT_DOUBLE_EQ(ev.vBound, 0.95);
+    EXPECT_EQ(ev.sensorLevel, 0);
+    EXPECT_TRUE(ev.gating);
+    // Fingerprint covers the 2 cycles up to and including entry
+    // (only 2 cycles of history existed): alu 1 + 2.
+    EXPECT_EQ(ev.fingerprintCycles, 2u);
+    EXPECT_EQ(ev.fingerprint[size_t(FpChannel::IntAlu)], 3u);
+}
+
+TEST(EmergencyTracker, LowHighFlipClosesAndReopens)
+{
+    EmergencyTracker tr(0.95, 1.05, 4, 16);
+    const EmergencyTracker::ControlState ctrl;
+    tr.step(0, 0.90, activity(1, 1), ctrl);
+    tr.step(1, 1.10, activity(1, 1), ctrl); // direct low -> high flip
+    tr.step(2, 1.00, activity(1, 1), ctrl);
+    tr.finish();
+    ASSERT_EQ(tr.log().events().size(), 2u);
+    EXPECT_TRUE(tr.log().events()[0].low);
+    EXPECT_FALSE(tr.log().events()[1].low);
+    EXPECT_EQ(tr.log().events()[1].entryCycle, 1u);
+}
+
+TEST(EmergencyTracker, FinishClosesOpenEpisode)
+{
+    EmergencyTracker tr(0.95, 1.05, 4, 16);
+    const EmergencyTracker::ControlState ctrl;
+    tr.step(0, 0.90, activity(1, 1), ctrl);
+    EXPECT_TRUE(tr.inEpisode());
+    EXPECT_EQ(tr.log().events().size(), 0u);
+    tr.finish();
+    EXPECT_FALSE(tr.inEpisode());
+    ASSERT_EQ(tr.log().events().size(), 1u);
+    EXPECT_EQ(tr.log().events()[0].durationCycles, 1u);
+}
+
+TEST(EmergencyEvent, JsonlHasSchemaFields)
+{
+    EmergencyEvent ev;
+    ev.entryCycle = 100;
+    ev.durationCycles = 5;
+    ev.low = true;
+    ev.vExtreme = 0.931;
+    ev.vBound = 0.95;
+    ev.sensorLevel = 1;
+    ev.sensorReading = 0.96;
+    ev.gating = false;
+    ev.fingerprint[size_t(FpChannel::IntAlu)] = 17;
+    ev.fingerprintCycles = 32;
+
+    std::string line;
+    ev.appendJsonl(line, "swim@300%", 3);
+    EXPECT_EQ(line.back(), '\n');
+    EXPECT_NE(line.find("\"run\":3"), std::string::npos) << line;
+    EXPECT_NE(line.find("\"name\":\"swim@300%\""), std::string::npos);
+    EXPECT_NE(line.find("\"cycle\":100"), std::string::npos);
+    EXPECT_NE(line.find("\"duration\":5"), std::string::npos);
+    EXPECT_NE(line.find("\"kind\":\"low\""), std::string::npos);
+    EXPECT_NE(line.find("\"level\":\"normal\""), std::string::npos);
+    EXPECT_NE(line.find("\"int_alu\":17"), std::string::npos);
+
+    // Without run attribution the record must not carry run fields.
+    std::string bare;
+    ev.appendJsonl(bare);
+    EXPECT_EQ(bare.find("\"run\""), std::string::npos);
+}
+
+// ------------------------------------------------------------- profile
+
+TEST(Profiler, SamplesOneInMaskCycles)
+{
+    Profiler p(2); // 1 in 4
+    unsigned sampled = 0;
+    for (uint64_t c = 0; c < 64; ++c)
+        sampled += p.beginCycle(c) != nullptr;
+    EXPECT_EQ(sampled, 16u);
+    EXPECT_EQ(p.data().cyclesTotal, 64u);
+    EXPECT_EQ(p.data().cyclesSampled, 16u);
+}
+
+TEST(Profiler, ScopedTimerRecordsOnlyWhenEnabled)
+{
+    Profiler p(0); // sample every cycle
+    {
+        ScopedTimer t(p.beginCycle(0), Phase::Pdn);
+    }
+    {
+        ScopedTimer t(nullptr, Phase::CpuStep); // disabled: no record
+    }
+    EXPECT_EQ(p.data().samples[size_t(Phase::Pdn)], 1u);
+    EXPECT_EQ(p.data().samples[size_t(Phase::CpuStep)], 0u);
+}
+
+TEST(ProfileData, MergeAddsAndJsonHasPhases)
+{
+    ProfileData a;
+    a.ns[size_t(Phase::Pdn)] = 100;
+    a.samples[size_t(Phase::Pdn)] = 2;
+    a.cyclesTotal = 10;
+    a.cyclesSampled = 2;
+    ProfileData b = a;
+    a.merge(b);
+    EXPECT_EQ(a.ns[size_t(Phase::Pdn)], 200u);
+    EXPECT_EQ(a.cyclesTotal, 20u);
+    EXPECT_FALSE(a.empty());
+    EXPECT_TRUE(ProfileData{}.empty());
+    const std::string j = a.json();
+    EXPECT_NE(j.find("\"pdn\""), std::string::npos);
+    EXPECT_NE(j.find("\"cycles_total\":20"), std::string::npos);
+}
+
+// ------------------------------------------------- sim integration
+
+TEST(VoltageSimStats, PerRunStatsMatchResultCounters)
+{
+    // The stressmark at 300% impedance breaches uncontrolled; the
+    // per-run stats snapshot must agree exactly with the result's own
+    // counters, and every emergency event must carry a fingerprint.
+    using namespace vguard::core;
+    const auto cal = workloads::StressmarkBuilder::calibrate(
+        60, referenceMachine().cpu);
+    RunSpec rs;
+    rs.impedanceScale = 2.0;
+    rs.controllerEnabled = false;
+    rs.maxCycles = 60000;
+
+    VoltageSim sim(makeSimConfig(rs),
+                   workloads::StressmarkBuilder::build(cal.params));
+    const VoltageSimResult res = sim.run(rs.maxCycles);
+
+    ASSERT_GT(res.emergencyCycles(), 0u) << "stressmark must breach";
+    EXPECT_EQ(res.stats.counterValue("pdn.emergencies.count"),
+              res.emergencyCycles());
+    EXPECT_EQ(res.stats.counterValue("pdn.emergencies.low"),
+              res.lowEmergencyCycles);
+    EXPECT_EQ(res.stats.counterValue("cpu.cycles"), res.cycles);
+    EXPECT_EQ(res.stats.counterValue("cpu.commit.insts"),
+              res.committed);
+    EXPECT_DOUBLE_EQ(res.stats.gaugeValue("pdn.v.min"), res.minV);
+
+    ASSERT_GT(res.events.events().size(), 0u);
+    for (const EmergencyEvent &ev : res.events.events()) {
+        EXPECT_GT(ev.fingerprintCycles, 0u);
+        uint64_t total = 0;
+        for (uint64_t c : ev.fingerprint)
+            total += c;
+        EXPECT_GT(total, 0u) << "fingerprint must be non-empty";
+    }
+    EXPECT_EQ(res.stats.counterValue("pdn.emergencies.episodes"),
+              res.events.total());
+}
+
+TEST(VoltageSimStats, BackToBackRunsDiffCleanly)
+{
+    // Two consecutive run() calls on one sim: each run's stats
+    // snapshot must cover only its own interval, even though the
+    // core's raw counters (and VoltageSimResult::committed) are
+    // cumulative across runs of the same sim.
+    using namespace vguard::core;
+    RunSpec rs;
+    rs.controllerEnabled = false;
+    rs.maxCycles = 1000;
+    VoltageSim sim(makeSimConfig(rs), workloads::busyKernel());
+    const VoltageSimResult r1 = sim.run(1000);
+    const VoltageSimResult r2 = sim.run(1000);
+    EXPECT_EQ(r1.stats.counterValue("cpu.cycles"), r1.cycles);
+    EXPECT_EQ(r2.stats.counterValue("cpu.cycles"), r2.cycles);
+    EXPECT_EQ(r1.stats.counterValue("cpu.commit.insts"), r1.committed);
+    EXPECT_EQ(r2.stats.counterValue("cpu.commit.insts"),
+              r2.committed - r1.committed);
+}
+
+TEST(VoltageSimStats, ProfilingPopulatesPhases)
+{
+    using namespace vguard::core;
+    RunSpec rs;
+    rs.controllerEnabled = false;
+    rs.maxCycles = 1000;
+    rs.profiling = true;
+    VoltageSim sim(makeSimConfig(rs), workloads::busyKernel());
+    const VoltageSimResult res = sim.run(1000);
+    EXPECT_EQ(res.profile.cyclesTotal, res.cycles);
+    EXPECT_GT(res.profile.cyclesSampled, 0u);
+    EXPECT_GT(res.profile.samples[size_t(Phase::CpuStep)], 0u);
+    EXPECT_GT(res.profile.samples[size_t(Phase::Pdn)], 0u);
+
+    // Profiling off: the profile section stays empty.
+    rs.profiling = false;
+    VoltageSim off(makeSimConfig(rs), workloads::busyKernel());
+    EXPECT_TRUE(off.run(1000).profile.empty());
+}
+
+} // namespace

@@ -3,12 +3,24 @@
  * Unit tests for src/util: RNG, running statistics, histogram, tables.
  */
 
+#include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
 #include <set>
+#include <sstream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include "util/jsonl.hpp"
+#include "util/logging.hpp"
 #include "util/rng.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -337,6 +349,176 @@ TEST(Table, FmtPrecision)
 {
     EXPECT_EQ(Table::fmt(1.5), "1.5");
     EXPECT_EQ(Table::fmt(0.123456789, 3), "0.123");
+}
+
+TEST(JsonWriter, NonFiniteDoublesEmitStringSentinels)
+{
+    using vguard::JsonWriter;
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(JsonWriter::number(nan), "\"nan\"");
+    EXPECT_EQ(JsonWriter::number(inf), "\"inf\"");
+    EXPECT_EQ(JsonWriter::number(-inf), "\"-inf\"");
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("a", nan);
+    w.field("b", inf);
+    w.field("c", -inf);
+    w.field("d", 1.5);
+    w.endObject();
+    // The document must stay valid JSON: no bare nan/inf tokens.
+    EXPECT_EQ(w.take(),
+              "{\"a\":\"nan\",\"b\":\"inf\",\"c\":\"-inf\",\"d\":1.5}");
+}
+
+TEST(JsonWriter, NonFiniteSentinelsRoundTrip)
+{
+    using vguard::JsonWriter;
+    // The sentinel's unquoted text must parse back (strtod accepts
+    // "nan"/"inf"/"-inf") to a value of the same class and sign, so a
+    // reader that unwraps the string recovers the original.
+    const double cases[] = {std::numeric_limits<double>::quiet_NaN(),
+                            std::numeric_limits<double>::infinity(),
+                            -std::numeric_limits<double>::infinity()};
+    for (double v : cases) {
+        std::string s = JsonWriter::number(v);
+        ASSERT_GE(s.size(), 2u);
+        ASSERT_EQ(s.front(), '"');
+        ASSERT_EQ(s.back(), '"');
+        const std::string inner = s.substr(1, s.size() - 2);
+        const double back = std::strtod(inner.c_str(), nullptr);
+        EXPECT_EQ(std::isnan(back), std::isnan(v));
+        EXPECT_EQ(std::isinf(back), std::isinf(v));
+        if (!std::isnan(v))
+            EXPECT_EQ(std::signbit(back), std::signbit(v));
+    }
+    // Finite values keep round-tripping exactly (shortest form).
+    for (double v : {0.0, -0.25, 1e-300, 3.141592653589793}) {
+        const std::string s = JsonWriter::number(v);
+        EXPECT_EQ(std::strtod(s.c_str(), nullptr), v);
+    }
+}
+
+// --------------------------------------------------------------- logging
+
+/** RAII redirect of a FILE* fd into a temp file. */
+class CaptureFd
+{
+  public:
+    explicit CaptureFd(FILE *stream) : stream_(stream)
+    {
+        std::fflush(stream_);
+        fd_ = fileno(stream_);
+        saved_ = dup(fd_);
+        std::snprintf(path_, sizeof(path_),
+                      "/tmp/vguard_capture_XXXXXX");
+        const int tmp = mkstemp(path_);
+        EXPECT_GE(tmp, 0);
+        dup2(tmp, fd_);
+        close(tmp);
+    }
+
+    /** Restore the stream and return everything captured. */
+    std::string finish()
+    {
+        std::fflush(stream_);
+        dup2(saved_, fd_);
+        close(saved_);
+        std::string text;
+        if (FILE *f = std::fopen(path_, "rb")) {
+            char buf[4096];
+            size_t n;
+            while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0)
+                text.append(buf, n);
+            std::fclose(f);
+        }
+        std::remove(path_);
+        return text;
+    }
+
+  private:
+    FILE *stream_;
+    int fd_ = -1;
+    int saved_ = -1;
+    char path_[64];
+};
+
+TEST(Logging, ConcurrentWarnsDoNotTearLines)
+{
+    // Regression test for the multi-fputs vprint: N threads hammer
+    // warn() while another flips the verbosity; every captured line
+    // must be exactly one complete "warn: t<i> m<j> end" record.
+    // Run under TSan (-DVGUARD_SANITIZE=thread) this also proves the
+    // verbosity global is race-free.
+    constexpr int kThreads = 8;
+    constexpr int kMessages = 200;
+
+    CaptureFd capture(stderr);
+    std::atomic<bool> go{false};
+    std::vector<std::thread> workers;
+    workers.reserve(kThreads + 1);
+    for (int t = 0; t < kThreads; ++t) {
+        workers.emplace_back([t, &go] {
+            while (!go.load(std::memory_order_acquire)) {
+            }
+            for (int j = 0; j < kMessages; ++j)
+                vguard::warn("t%d m%d end", t, j);
+        });
+    }
+    workers.emplace_back([&go] {
+        while (!go.load(std::memory_order_acquire)) {
+        }
+        using vguard::Verbosity;
+        for (int i = 0; i < 400; ++i) {
+            vguard::setVerbosity(i % 2 ? Verbosity::Debug
+                                       : Verbosity::Normal);
+            (void)vguard::verbosity();
+        }
+    });
+    go.store(true, std::memory_order_release);
+    for (auto &w : workers)
+        w.join();
+    vguard::setVerbosity(vguard::Verbosity::Normal);
+
+    const std::string text = capture.finish();
+    std::istringstream lines(text);
+    std::string line;
+    size_t count = 0;
+    std::set<std::string> seen;
+    while (std::getline(lines, line)) {
+        ++count;
+        // Every line is whole: correct prefix, correct suffix, and a
+        // unique (thread, message) tag — interleaving would corrupt
+        // at least one of these.
+        EXPECT_EQ(line.rfind("warn: t", 0), 0u) << line;
+        ASSERT_GE(line.size(), 4u);
+        EXPECT_EQ(line.substr(line.size() - 4), " end") << line;
+        EXPECT_TRUE(seen.insert(line).second) << "duplicate: " << line;
+    }
+    EXPECT_EQ(count, size_t(kThreads) * kMessages);
+}
+
+TEST(Logging, QuietSuppressesInformButNotWarn)
+{
+    CaptureFd err(stderr);
+    vguard::setVerbosity(vguard::Verbosity::Quiet);
+    vguard::warn("still visible");
+    vguard::setVerbosity(vguard::Verbosity::Normal);
+    const std::string text = err.finish();
+    EXPECT_NE(text.find("warn: still visible"), std::string::npos);
+}
+
+TEST(Logging, OversizedMessageSurvivesHeapFallback)
+{
+    // Messages longer than vprint's stack buffer must still come out
+    // complete and untruncated.
+    const std::string big(2000, 'x');
+    CaptureFd err(stderr);
+    vguard::warn("pre %s post", big.c_str());
+    const std::string text = err.finish();
+    EXPECT_NE(text.find("warn: pre " + big + " post\n"),
+              std::string::npos);
 }
 
 } // namespace
