@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Simulation-loop perf harness: pins the trace-replay fast path's
+ * speedup (and its bit-exactness) in a machine-readable artifact so CI
+ * can watch for regressions.
+ *
+ * Times four ways of producing the same open-loop voltage trace:
+ *
+ *   full-core      — coupled core + Wattch + PDN run (capturing the
+ *                    trace as it goes);
+ *   replay/1       — trace replay stepped one cycle at a time;
+ *   replay/block   — trace replay through the batched block pipeline;
+ *   closed-loop    — full coupled run with the threshold controller,
+ *                    for context (replay is never legal there).
+ *
+ * The replayed result is cross-checked against the full-core run:
+ * every scalar field, the stats snapshot JSON, and the emergency-event
+ * JSONL must match exactly (replay_identical). Writes
+ * BENCH_simloop.json.
+ *
+ * Usage:
+ *   bench_simloop [cycles] [--jsonl FILE]
+ *
+ * Defaults: 200000 cycles, output to BENCH_simloop.json in the
+ * current directory.
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/campaign.hpp"
+#include "core/experiments.hpp"
+#include "core/trace_cache.hpp"
+#include "core/voltage_sim.hpp"
+#include "util/jsonl.hpp"
+#include "util/logging.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace vguard;
+using namespace vguard::core;
+
+namespace {
+
+/** Wall-clock seconds of one callable. */
+template <typename Fn>
+double
+timeIt(Fn &&fn)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** cycles / seconds with div-by-zero guard. */
+double
+rate(uint64_t cycles, double secs)
+{
+    return secs > 0.0 ? static_cast<double>(cycles) / secs : 0.0;
+}
+
+/** Exact equality of a replayed result against the full-core one. */
+bool
+identical(const VoltageSimResult &a, const VoltageSimResult &b)
+{
+    return a.cycles == b.cycles && a.committed == b.committed &&
+           a.ipc == b.ipc && a.energyJ == b.energyJ &&
+           a.avgPowerW == b.avgPowerW && a.minV == b.minV &&
+           a.maxV == b.maxV &&
+           a.lowEmergencyCycles == b.lowEmergencyCycles &&
+           a.highEmergencyCycles == b.highEmergencyCycles &&
+           a.stats.json() == b.stats.json() &&
+           a.events.jsonl() == b.events.jsonl();
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CampaignCli cli = parseCampaignCli(argc, argv);
+    uint64_t cycles = 200000;
+    if (!cli.positional.empty())
+        cycles = std::strtoull(cli.positional[0].c_str(), nullptr, 10);
+    if (cycles == 0)
+        fatal("bench_simloop: cycles must be positive");
+    const std::string outPath =
+        cli.jsonlPath.empty() ? "BENCH_simloop.json" : cli.jsonlPath;
+
+    const isa::Program program = workloads::phasedKernel(400);
+
+    RunSpec open;
+    open.controllerEnabled = false;
+    open.maxCycles = cycles;
+    const VoltageSimConfig openCfg = makeSimConfig(open);
+
+    // Full-core open-loop run, capturing the trace as it goes (the
+    // capture stores are part of the cost a campaign's first leg
+    // actually pays).
+    CapturedTrace trace;
+    VoltageSimResult fullRes;
+    const double fullSecs = timeIt([&] {
+        VoltageSim sim(openCfg, program);
+        fullRes = sim.run(open.maxCycles, open.maxInsts, &trace);
+    });
+
+    // Replay the trace cycle-by-cycle, then through the block pipeline.
+    VoltageSimResult cycRes;
+    const double cycSecs = timeIt([&] {
+        VoltageSim sim(openCfg, program);
+        cycRes = sim.runReplay(trace, 1);
+    });
+    VoltageSimResult blkRes;
+    const double blkSecs = timeIt([&] {
+        VoltageSim sim(openCfg, program);
+        blkRes = sim.runReplay(trace);
+    });
+
+    // Closed-loop context: the controller path replay can never take.
+    RunSpec closed;
+    closed.controllerEnabled = true;
+    closed.maxCycles = cycles;
+    const VoltageSimConfig closedCfg = makeSimConfig(closed);
+    VoltageSimResult ctlRes;
+    const double ctlSecs = timeIt([&] {
+        VoltageSim sim(closedCfg, program);
+        ctlRes = sim.run(closed.maxCycles);
+    });
+
+    const double fullRate = rate(fullRes.cycles, fullSecs);
+    const double cycRate = rate(cycRes.cycles, cycSecs);
+    const double blkRate = rate(blkRes.cycles, blkSecs);
+    const double ctlRate = rate(ctlRes.cycles, ctlSecs);
+    const double speedup = fullRate > 0.0 ? blkRate / fullRate : 0.0;
+    const bool cycSame = identical(cycRes, fullRes);
+    const bool blkSame = identical(blkRes, fullRes);
+
+    std::printf("%-22s %14s %10s\n", "pipeline", "cycles/s",
+                "speedup");
+    std::printf("%-22s %14.6g %9.2fx\n", "full-core (capture)",
+                fullRate, 1.0);
+    std::printf("%-22s %14.6g %9.2fx\n", "replay/1", cycRate,
+                fullRate > 0.0 ? cycRate / fullRate : 0.0);
+    std::printf("%-22s %14.6g %9.2fx\n", "replay/block", blkRate,
+                speedup);
+    std::printf("%-22s %14.6g %9.2fx\n", "closed-loop", ctlRate,
+                fullRate > 0.0 ? ctlRate / fullRate : 0.0);
+    std::printf("replay identical: per-cycle=%s block=%s\n",
+                cycSame ? "yes" : "NO", blkSame ? "yes" : "NO");
+
+    JsonWriter w;
+    w.beginObject();
+    w.field("bench", "simloop");
+    w.field("cycles", fullRes.cycles);
+    w.field("fullCoreCyclesPerSec", fullRate);
+    w.field("replayCyclesPerSec", cycRate);
+    w.field("blockReplayCyclesPerSec", blkRate);
+    w.field("closedLoopCyclesPerSec", ctlRate);
+    w.field("replaySpeedup", speedup);
+    w.field("replayIdentical", cycSame && blkSame);
+    w.endObject();
+
+    std::FILE *f = std::fopen(outPath.c_str(), "wb");
+    if (!f)
+        fatal("bench_simloop: cannot open '%s'", outPath.c_str());
+    const std::string text = w.take() + "\n";
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+    std::printf("wrote %s\n", outPath.c_str());
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "core/actuator.hpp"
+#include "core/trace_cache.hpp"
 #include "util/jsonl.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -328,6 +329,22 @@ CampaignResult::statsJson() const
     // thread counts must only look at "campaign" and "stats".
     out += ",\"profile\":";
     out += profile.json();
+    // Trace-cache counters live in the machine-dependent zone too:
+    // the cache persists in-process across campaigns, so hit/capture
+    // splits depend on what ran before in this process.
+    {
+        const TraceCache &tc = TraceCache::instance();
+        JsonWriter tw;
+        tw.beginObject();
+        tw.field("enabled", tc.enabled());
+        tw.field("captures", tc.captures());
+        tw.field("hits", tc.hits());
+        tw.field("entries", static_cast<uint64_t>(tc.entries()));
+        tw.field("bytes", static_cast<uint64_t>(tc.bytes()));
+        tw.endObject();
+        out += ",\"trace_cache\":";
+        out += tw.take();
+    }
     out += ",\"wall_seconds\":";
     out += JsonWriter::number(wallSeconds);
     out += ",\"threads\":";

@@ -6,8 +6,11 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <string>
 #include <tuple>
 
+#include "core/trace_cache.hpp"
 #include "pdn/package_model.hpp"
 #include "power/wattch.hpp"
 #include "workloads/kernels.hpp"
@@ -28,6 +31,8 @@ referenceCurrentRange()
     // initialising thread finishes — safe for campaign workers.
     static const CurrentRange cached = [] {
         const Machine m = referenceMachine();
+        // One model serves both the analytic extremes (scratch-copy
+        // const queries) and the virus run below.
         power::WattchModel model(m.power, m.cpu);
         CurrentRange r;
         r.gatedMin = model.minCurrent();
@@ -35,16 +40,43 @@ referenceCurrentRange()
         r.progMin = model.idleCurrent();
 
         // Measure the program-reachable ceiling with a power virus
-        // (peak over the steady, I-cache-warm half of the run).
-        cpu::OoOCore core(m.cpu, workloads::powerVirus());
-        power::WattchModel pm(m.power, m.cpu);
+        // (peak over the steady, I-cache-warm half of the run). The
+        // measurement doubles as the trace cache's first entry: the
+        // loop below walks the same (program, config, limits) stream
+        // an open-loop VoltageSim::run(total) would, so the captured
+        // waveform replays byte-identically.
+        const isa::Program virus = workloads::powerVirus();
+        cpu::OoOCore core(m.cpu, virus);
+        obs::Registry reg;
+        core.registerStats(reg, "cpu");
+        model.registerStats(reg, "power", 1.0 / m.cpu.clockHz);
+        const obs::Snapshot before = reg.snapshot();
+
         const uint64_t total = 30000;
+        CapturedTrace trace;
+        trace.amps.reserve(total);
+        trace.activity.reserve(total);
         double peak = 0.0;
         while (core.now() < total && !core.halted()) {
-            const double amps = pm.current(core.cycle());
+            const cpu::ActivityVector &av = core.cycle();
+            const double amps = model.current(av);
             if (core.now() > total / 2)
                 peak = std::max(peak, amps);
+            trace.amps.push_back(amps);
+            const auto counts = obs::fpChannelCounts(av);
+            std::array<uint16_t, obs::kNumFpChannels> c16;
+            for (size_t ch = 0; ch < obs::kNumFpChannels; ++ch) {
+                VGUARD_CHECK(counts[ch] <= 0xffffu);
+                c16[ch] = static_cast<uint16_t>(counts[ch]);
+            }
+            trace.activity.push_back(c16);
         }
+        trace.committed = core.stats().committed;
+        trace.halted = core.halted();
+        trace.frontEnd = frontEndSubset(reg.snapshot().diff(before));
+        TraceCache::instance().put(
+            traceKey(virus, m.cpu, m.power, total, ~0ull),
+            std::move(trace));
         r.progMax = peak;
         if (r.progMax <= r.progMin)
             panic("referenceCurrentRange: power virus failed (%.1f A)",
@@ -183,8 +215,38 @@ makeSimConfig(const RunSpec &spec)
 VoltageSimResult
 runWorkload(const isa::Program &program, const RunSpec &spec)
 {
-    VoltageSim sim(makeSimConfig(spec), program);
-    return sim.run(spec.maxCycles, spec.maxInsts);
+    const VoltageSimConfig cfg = makeSimConfig(spec);
+    TraceCache &tc = TraceCache::instance();
+
+    // Closed-loop runs need the real core (actuation feedback); they
+    // always take the full coupled path.
+    if (cfg.sensor || !tc.enabled()) {
+        VoltageSim sim(cfg, program);
+        return sim.run(spec.maxCycles, spec.maxInsts);
+    }
+
+    // Open loop: first call per key runs the full sim once (capturing
+    // the trace and returning its own result); every later call —
+    // other packages in a sweep, other noise seeds, baseline legs —
+    // replays the trace against its own PDN, byte-identically.
+    const std::string key = traceKey(program, cfg.cpu, cfg.power,
+                                     spec.maxCycles, spec.maxInsts);
+    std::optional<VoltageSimResult> mine;
+    const CapturedTrace *trace = tc.fetchOrCapture(key, [&] {
+        CapturedTrace t;
+        VoltageSim sim(cfg, program);
+        mine = sim.run(spec.maxCycles, spec.maxInsts, &t);
+        return t;
+    });
+    if (mine)
+        return std::move(*mine);
+    if (!trace) {
+        // Cache over budget: nothing retained to replay from.
+        VoltageSim sim(cfg, program);
+        return sim.run(spec.maxCycles, spec.maxInsts);
+    }
+    VoltageSim sim(cfg, program);
+    return sim.runReplay(*trace);
 }
 
 Comparison

@@ -64,9 +64,14 @@ buildScenarios(const PackageModel &model, const ThresholdSpec &spec)
  * spec.delayCycles and adversarially biased by the sensor error
  * (+error when checking the low threshold — delaying the trigger —
  * and -error for the high threshold).
+ *
+ * @p sim is constructed once per solve and passed in — the solver's
+ * bisection probes this function hundreds of times, and re-trimming
+ * resets the state to the same DC operating point a fresh PdnSim
+ * would start from, so results are identical.
  */
 void
-runScenario(const PackageModel &model, const ThresholdSpec &spec,
+runScenario(PdnSim &sim, const ThresholdSpec &spec,
             const std::vector<double> &demand, double vLow, double vHigh,
             double &vMin, double &vMax)
 {
@@ -75,7 +80,6 @@ runScenario(const PackageModel &model, const ThresholdSpec &spec,
         spec.iPhantom >= 0.0 ? spec.iPhantom : spec.iMax;
     const double iTrim = spec.iTrim >= 0.0 ? spec.iTrim : iGate;
 
-    PdnSim sim(model);
     sim.trimToCurrent(iTrim);
 
     const unsigned d = spec.delayCycles;
@@ -111,10 +115,11 @@ closedLoopExtremes(const ThresholdSpec &spec, double vLow, double vHigh,
         spec.f0Hz, spec.zPeakOhms, spec.rDc, spec.rDamp, spec.clockHz,
         spec.vNominal);
     const auto scenarios = buildScenarios(model, spec);
+    PdnSim sim(model);
     vMinOut = spec.vNominal;
     vMaxOut = spec.vNominal;
     for (const auto &s : scenarios)
-        runScenario(model, spec, s, vLow, vHigh, vMinOut, vMaxOut);
+        runScenario(sim, spec, s, vLow, vHigh, vMinOut, vMaxOut);
 }
 
 Thresholds
@@ -130,6 +135,9 @@ solveThresholds(const ThresholdSpec &spec)
         spec.f0Hz, spec.zPeakOhms, spec.rDc, spec.rDamp, spec.clockHz,
         spec.vNominal);
     const auto scenarios = buildScenarios(model, spec);
+    // One simulator serves every probe: runScenario re-trims (full
+    // state reset) on entry, and the solver makes ~600 probes.
+    PdnSim sim(model);
 
     const double vFloor =
         spec.vNominal * (1.0 - spec.band) + spec.guardBandV;
@@ -139,13 +147,13 @@ solveThresholds(const ThresholdSpec &spec)
     auto lowSafe = [&](double vLow, double vHigh) {
         double vMin = spec.vNominal, vMax = spec.vNominal;
         for (const auto &s : scenarios)
-            runScenario(model, spec, s, vLow, vHigh, vMin, vMax);
+            runScenario(sim, spec, s, vLow, vHigh, vMin, vMax);
         return vMin >= vFloor;
     };
     auto highSafe = [&](double vLow, double vHigh) {
         double vMin = spec.vNominal, vMax = spec.vNominal;
         for (const auto &s : scenarios)
-            runScenario(model, spec, s, vLow, vHigh, vMin, vMax);
+            runScenario(sim, spec, s, vLow, vHigh, vMin, vMax);
         return vMax <= vCeil;
     };
 
@@ -209,7 +217,7 @@ solveThresholds(const ThresholdSpec &spec)
         for (int iter = 0; iter < 16; ++iter) {
             double vMin = spec.vNominal, vMax = spec.vNominal;
             for (const auto &s : scenarios)
-                runScenario(model, spec, s, out.vLow, out.vHigh, vMin,
+                runScenario(sim, spec, s, out.vLow, out.vHigh, vMin,
                             vMax);
             const double lowViolation = vFloor - vMin;
             const double highViolation = vMax - vCeil;

@@ -1,0 +1,296 @@
+#include "core/trace_cache.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace vguard::core {
+
+namespace {
+
+// The key is an in-process map key only (never persisted), so native
+// endianness/width via memcpy is fine; what matters is that distinct
+// configurations produce distinct byte strings. Fields are appended
+// one by one — never whole structs, whose padding bytes are
+// indeterminate.
+void
+putBytes(std::string &k, const void *p, size_t n)
+{
+    k.append(static_cast<const char *>(p), n);
+}
+
+void
+putU64(std::string &k, uint64_t v)
+{
+    putBytes(k, &v, sizeof v);
+}
+
+void
+putI64(std::string &k, int64_t v)
+{
+    putBytes(k, &v, sizeof v);
+}
+
+void
+putF64(std::string &k, double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof bits);
+    putU64(k, bits);
+}
+
+void
+putCache(std::string &k, const cpu::CacheConfig &c)
+{
+    putU64(k, c.sizeBytes);
+    putU64(k, c.ways);
+    putU64(k, c.lineBytes);
+    putU64(k, c.latency);
+}
+
+size_t
+envSizeMb(const char *name, size_t fallbackMb)
+{
+    const char *env = std::getenv(name);
+    if (!env || !*env)
+        return fallbackMb;
+    char *end = nullptr;
+    const unsigned long long mb = std::strtoull(env, &end, 10);
+    return end != env ? static_cast<size_t>(mb) : fallbackMb;
+}
+
+bool
+envEnabled(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (!env)
+        return true;
+    const std::string v(env);
+    return !(v == "0" || v == "off" || v == "false");
+}
+
+} // namespace
+
+size_t
+CapturedTrace::bytes() const
+{
+    size_t b = amps.size() * sizeof(double);
+    b += activity.size() * sizeof(std::array<uint16_t, obs::kNumFpChannels>);
+    for (const auto &e : frontEnd.entries())
+        b += sizeof(e) + e.name.size() + e.desc.size();
+    return b;
+}
+
+std::string
+traceKey(const isa::Program &program, const cpu::CpuConfig &cpu,
+         const power::PowerConfig &power, uint64_t maxCycles,
+         uint64_t maxInsts)
+{
+    std::string k = "vguard-trace-v1:";
+
+    // Program: every instruction field-wise.
+    putU64(k, program.size());
+    for (uint32_t i = 0; i < program.size(); ++i) {
+        const isa::StaticInst &si = program.at(i);
+        putU64(k, static_cast<uint64_t>(si.op));
+        putU64(k, si.rd);
+        putU64(k, si.rs1);
+        putU64(k, si.rs2);
+        putI64(k, si.imm);
+        putI64(k, si.target);
+    }
+
+    // CpuConfig, declaration order.
+    putF64(k, cpu.clockHz);
+    putU64(k, cpu.fetchWidth);
+    putU64(k, cpu.decodeWidth);
+    putU64(k, cpu.issueWidth);
+    putU64(k, cpu.commitWidth);
+    putU64(k, cpu.ruuSize);
+    putU64(k, cpu.lsqSize);
+    putU64(k, cpu.ifqSize);
+    putU64(k, cpu.frontEndDepth);
+    putU64(k, cpu.branchPenalty);
+    putU64(k, cpu.numIntAlu);
+    putU64(k, cpu.numIntMultDiv);
+    putU64(k, cpu.numFpAlu);
+    putU64(k, cpu.numFpMultDiv);
+    putU64(k, cpu.numMemPorts);
+    putU64(k, cpu.intAluLat);
+    putU64(k, cpu.intMultLat);
+    putU64(k, cpu.intMultRepeat);
+    putU64(k, cpu.intDivLat);
+    putU64(k, cpu.intDivRepeat);
+    putU64(k, cpu.fpAddLat);
+    putU64(k, cpu.fpAddRepeat);
+    putU64(k, cpu.fpMultLat);
+    putU64(k, cpu.fpMultRepeat);
+    putU64(k, cpu.fpDivLat);
+    putU64(k, cpu.fpDivRepeat);
+    putCache(k, cpu.il1);
+    putCache(k, cpu.dl1);
+    putCache(k, cpu.l2);
+    putU64(k, cpu.memLatency);
+    putU64(k, cpu.bimodalEntries);
+    putU64(k, cpu.gshareEntries);
+    putU64(k, cpu.chooserEntries);
+    putU64(k, cpu.historyBits);
+    putU64(k, cpu.btbEntries);
+    putU64(k, cpu.rasEntries);
+    putU64(k, cpu.codeBase);
+
+    // PowerConfig, declaration order.
+    for (double p : power.pMax)
+        putF64(k, p);
+    putF64(k, power.idleFrac);
+    putF64(k, power.idleFracL2);
+    putF64(k, power.gatedFrac);
+    putF64(k, power.clockFixedFrac);
+    putF64(k, power.vdd);
+    putF64(k, power.sBase);
+    putF64(k, power.sRange);
+
+    // Run limits (they shape the captured termination condition and
+    // the front-end stats, so runs with different limits never share).
+    putU64(k, maxCycles);
+    putU64(k, maxInsts);
+    return k;
+}
+
+obs::Snapshot
+frontEndSubset(const obs::Snapshot &stats)
+{
+    obs::Snapshot out;
+    for (const auto &e : stats.entries()) {
+        if (e.name.rfind("cpu.", 0) == 0 ||
+            e.name.rfind("power.", 0) == 0)
+            out.upsertEntry(e);
+    }
+    return out;
+}
+
+TraceCache &
+TraceCache::instance()
+{
+    static TraceCache cache;
+    return cache;
+}
+
+TraceCache::TraceCache()
+    : maxBytes_(envSizeMb("VGUARD_TRACE_CACHE_MB", 1024) * 1024 * 1024),
+      enabled_(envEnabled("VGUARD_TRACE_CACHE"))
+{
+}
+
+TraceCache::Entry *
+TraceCache::entryFor(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(m_);
+    auto &slot = map_[key];
+    if (!slot)
+        slot = std::make_unique<Entry>();
+    return slot.get();
+}
+
+const CapturedTrace *
+TraceCache::fetchOrCapture(const std::string &key,
+                           const CaptureFn &capture)
+{
+    if (!enabled())
+        return nullptr;
+    Entry *e = entryFor(key);
+    bool captured = false;
+    // The expensive capture runs outside the map mutex: concurrent
+    // first calls on *this* key serialize on the once_flag; other keys
+    // capture in parallel (referenceThresholds() pattern).
+    std::call_once(e->once, [&] {
+        captured = true;
+        captures_.fetch_add(1, std::memory_order_relaxed);
+        e->trace = capture();
+        const size_t sz = e->trace.bytes();
+        std::lock_guard<std::mutex> lock(m_);
+        if (bytes_ + sz <= maxBytes_) {
+            bytes_ += sz;
+            ++retained_;
+            e->retained = true;
+        } else {
+            // Over budget: drop the trace but keep the (tiny) entry so
+            // the key is never captured twice.
+            e->trace = CapturedTrace{};
+        }
+    });
+    if (!captured)
+        hits_.fetch_add(1, std::memory_order_relaxed);
+    // e->retained/e->trace are written only inside call_once, which
+    // synchronizes-with every return from call_once on this flag.
+    return e->retained ? &e->trace : nullptr;
+}
+
+void
+TraceCache::put(const std::string &key, CapturedTrace trace)
+{
+    if (!enabled())
+        return;
+    Entry *e = entryFor(key);
+    std::call_once(e->once, [&] {
+        captures_.fetch_add(1, std::memory_order_relaxed);
+        e->trace = std::move(trace);
+        const size_t sz = e->trace.bytes();
+        std::lock_guard<std::mutex> lock(m_);
+        if (bytes_ + sz <= maxBytes_) {
+            bytes_ += sz;
+            ++retained_;
+            e->retained = true;
+        } else {
+            e->trace = CapturedTrace{};
+        }
+    });
+}
+
+bool
+TraceCache::enabled() const
+{
+    return enabled_.load(std::memory_order_relaxed);
+}
+
+void
+TraceCache::setEnabled(bool on)
+{
+    enabled_.store(on, std::memory_order_relaxed);
+}
+
+void
+TraceCache::clear()
+{
+    std::lock_guard<std::mutex> lock(m_);
+    map_.clear();
+    bytes_ = 0;
+    retained_ = 0;
+}
+
+uint64_t
+TraceCache::captures() const
+{
+    return captures_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TraceCache::hits() const
+{
+    return hits_.load(std::memory_order_relaxed);
+}
+
+size_t
+TraceCache::entries() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return retained_;
+}
+
+size_t
+TraceCache::bytes() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return bytes_;
+}
+
+} // namespace vguard::core

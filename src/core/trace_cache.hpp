@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Current-trace cache for open-loop replay.
+ *
+ * The paper's sweeps (Figs. 10/14/15, Tables 2/3) re-run the identical
+ * deterministic OoO core + Wattch front end for every uncontrolled
+ * leg: baselines, calibration runs, voltage-distribution runs. Without
+ * a controller there is no actuation feedback, so the per-cycle
+ * current waveform depends only on (program, CpuConfig, PowerConfig)
+ * and the run limits — not on the package being swept and not on the
+ * sensor-noise seed (the noise stream is never sampled). This module
+ * captures that waveform once, caches it in-process, and lets
+ * VoltageSim::runReplay() re-evaluate any PDN against it at a small
+ * fraction of the full-core cost (see bench/bench_simloop.cpp).
+ *
+ * Cache key: the exact serialised bytes of the program's instructions,
+ * every CpuConfig and PowerConfig field, and the (maxCycles, maxInsts)
+ * run limits. Using exact bytes (not a hash) rules out collisions;
+ * including the limits makes the captured termination condition and
+ * front-end stats reproduce exactly. The key deliberately excludes the
+ * package parameters and the noise seed — that is what makes one
+ * capture reusable across a whole impedance sweep (the ISSUE's
+ * "(workload, CpuConfig, PowerConfig, seed)" key would defeat
+ * cross-run reuse, because campaigns derive a distinct seed per run;
+ * see DESIGN.md "Trace replay").
+ *
+ * Thread safety follows the referenceThresholds() pattern: a mutex
+ * guards the key map only for lookup/insert; the expensive capture
+ * runs outside that lock under a per-key once_flag, so concurrent
+ * first calls on one key collapse to a single capture while distinct
+ * keys capture in parallel. Entries are heap-allocated so returned
+ * pointers stay stable across rebalancing inserts, and are immutable
+ * once the once_flag is done — replays share them read-only.
+ *
+ * Environment knobs: VGUARD_TRACE_CACHE=0 (or "off") disables the
+ * cache entirely; VGUARD_TRACE_CACHE_MB caps retained trace bytes
+ * (default 1024 MB — a 200k-cycle trace is ~7 MB).
+ */
+
+#ifndef VGUARD_CORE_TRACE_CACHE_HPP
+#define VGUARD_CORE_TRACE_CACHE_HPP
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "cpu/config.hpp"
+#include "isa/program.hpp"
+#include "obs/events.hpp"
+#include "obs/metrics.hpp"
+#include "power/wattch.hpp"
+
+namespace vguard::core {
+
+/**
+ * One captured open-loop run: the per-cycle current waveform, the
+ * compact per-cycle activity fingerprint stream (enough to reproduce
+ * emergency-event fingerprints without the core), and the front-end
+ * results a replay cannot recompute.
+ */
+struct CapturedTrace
+{
+    /** Amps drawn each cycle (exact doubles from WattchModel). */
+    std::vector<double> amps;
+    /**
+     * Per-cycle fingerprint-channel counts (obs::fpChannelCounts).
+     * uint16 is lossless: every channel is bounded by a machine width
+     * (max is regfile reads+writes <= 3*issueWidth); capture checks.
+     */
+    std::vector<std::array<uint16_t, obs::kNumFpChannels>> activity;
+
+    /** Committed instructions at end of the capture run. */
+    uint64_t committed = 0;
+    /** Whether the program halted within the limits. */
+    bool halted = false;
+    /**
+     * The capture run's cpu.* / power.* snapshot entries. A replay
+     * never steps the core or the power model, so its live interval
+     * diff reports zeros for these; runReplay() splices these cached
+     * entries in verbatim instead (obs::Snapshot::upsertEntry).
+     */
+    obs::Snapshot frontEnd;
+
+    /** Approximate retained heap bytes (for the cache budget). */
+    size_t bytes() const;
+};
+
+/**
+ * Exact serialised cache key (see file comment for what it includes
+ * and why seed/package are deliberately absent).
+ */
+std::string traceKey(const isa::Program &program,
+                     const cpu::CpuConfig &cpu,
+                     const power::PowerConfig &power, uint64_t maxCycles,
+                     uint64_t maxInsts);
+
+/** The cpu.* / power.* subset of a run's stats snapshot. */
+obs::Snapshot frontEndSubset(const obs::Snapshot &stats);
+
+/** Process-wide cache of captured open-loop traces. */
+class TraceCache
+{
+  public:
+    static TraceCache &instance();
+
+    using CaptureFn = std::function<CapturedTrace()>;
+
+    /**
+     * Return the trace cached under @p key, running @p capture under
+     * the key's once_flag when absent (concurrent first calls on one
+     * key run it exactly once; the others block, then replay).
+     * Returns nullptr when the cache is disabled, or when the capture
+     * exceeded the byte budget and the caller was not the capturing
+     * thread (the capturer still learns its own result; see
+     * runWorkload in experiments.cpp).
+     */
+    const CapturedTrace *fetchOrCapture(const std::string &key,
+                                        const CaptureFn &capture);
+
+    /**
+     * Seed an entry without going through a simulation (e.g. the
+     * power-virus trace measured by referenceCurrentRange()). No-op
+     * when the key already has an entry or the cache is disabled.
+     */
+    void put(const std::string &key, CapturedTrace trace);
+
+    bool enabled() const;
+    /** Tests/benches toggle the cache to compare against full runs. */
+    void setEnabled(bool on);
+
+    /**
+     * Drop every entry (test isolation only — callers must guarantee
+     * no replay is concurrently reading a cached trace).
+     */
+    void clear();
+
+    /** Capture invocations (one per distinct key actually captured). */
+    uint64_t captures() const;
+    /** Calls served from an existing entry without capturing. */
+    uint64_t hits() const;
+    /** Retained entries / approximate retained bytes. */
+    size_t entries() const;
+    size_t bytes() const;
+
+  private:
+    TraceCache();
+
+    struct Entry
+    {
+        std::once_flag once;
+        CapturedTrace trace;
+        /** False when the trace blew the byte budget and was freed. */
+        bool retained = false;
+    };
+
+    Entry *entryFor(const std::string &key);
+
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<Entry>> map_;
+    size_t bytes_ = 0;        ///< retained trace bytes (under m_)
+    size_t retained_ = 0;     ///< retained entry count (under m_)
+    size_t maxBytes_;
+    std::atomic<bool> enabled_;
+    std::atomic<uint64_t> captures_{0};
+    std::atomic<uint64_t> hits_{0};
+};
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_TRACE_CACHE_HPP

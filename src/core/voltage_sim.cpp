@@ -107,9 +107,127 @@ VoltageSim::step()
     return s;
 }
 
-VoltageSimResult
-VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
+void
+VoltageSim::accountCycle(
+    uint64_t cycle, double amps, double volts,
+    const std::array<uint32_t, obs::kNumFpChannels> &counts,
+    const obs::EmergencyTracker::ControlState &ctrl,
+    VoltageSimResult &res, RunAccum &acc)
 {
+    acc.energy += amps * cfg_.power.vdd * acc.dt;
+    res.minV = std::min(res.minV, volts);
+    res.maxV = std::max(res.maxV, volts);
+    res.voltageHist.add(volts);
+    if (volts < acc.vLoBound) {
+        ++res.lowEmergencyCycles;
+        ++emLow_;
+    } else if (volts > acc.vHiBound) {
+        ++res.highEmergencyCycles;
+        ++emHigh_;
+    }
+    tracker_.step(cycle, volts, counts, ctrl);
+}
+
+void
+VoltageSim::runClosedLoop(uint64_t maxCycles, uint64_t maxInsts,
+                          VoltageSimResult &res, RunAccum &acc)
+{
+    while (acc.cycles < maxCycles && !core_.halted() &&
+           core_.stats().committed < maxInsts) {
+        const TraceSample s = step();
+        ++acc.cycles;
+
+        obs::ScopedTimer t(lastProf_, obs::Phase::Events);
+        obs::EmergencyTracker::ControlState ctrl;
+        if (controller_) {
+            ctrl.sensorLevel =
+                static_cast<int>(controller_->lastLevel());
+            ctrl.sensorReading = controller_->sensor().lastReading();
+        }
+        ctrl.gating = s.gated;
+        ctrl.phantom = s.phantom;
+        accountCycle(s.cycle, s.amps, s.volts,
+                     obs::fpChannelCounts(*lastAv_), ctrl, res, acc);
+    }
+}
+
+void
+VoltageSim::runOpenLoop(uint64_t maxCycles, uint64_t maxInsts,
+                        VoltageSimResult &res, RunAccum &acc,
+                        CapturedTrace *capture)
+{
+    avBuf_.resize(kBlockCycles);
+    ampsBuf_.resize(kBlockCycles);
+    voltsBuf_.resize(kBlockCycles);
+    obs::Profiler *p = profiling_ ? &profiler_ : nullptr;
+
+    while (acc.cycles < maxCycles && !core_.halted() &&
+           core_.stats().committed < maxInsts) {
+        // Gather a block of activity vectors, re-checking the loop
+        // bounds before every core cycle exactly like the per-cycle
+        // path (the limits may bind mid-block).
+        size_t n = 0;
+        {
+            obs::ScopedTimer t(p, obs::Phase::CpuStep);
+            while (n < kBlockCycles && acc.cycles + n < maxCycles &&
+                   !core_.halted() &&
+                   core_.stats().committed < maxInsts) {
+                avBuf_[n] = core_.cycle();
+                ++n;
+            }
+        }
+        if (n == 0)
+            break;
+
+        {
+            obs::ScopedTimer t(p, obs::Phase::Power);
+            power_.currentBlock(avBuf_.data(), n, ampsBuf_.data());
+        }
+        {
+            obs::ScopedTimer t(p, obs::Phase::Pdn);
+            if (cfg_.useConvolution) {
+                for (size_t k = 0; k < n; ++k)
+                    voltsBuf_[k] = conv_->step(ampsBuf_[k]);
+            } else {
+                pdn_.stepMany(ampsBuf_.data(), n, voltsBuf_.data());
+            }
+        }
+        {
+            obs::ScopedTimer t(p, obs::Phase::Events);
+            for (size_t k = 0; k < n; ++k) {
+                const cpu::ActivityVector &av = avBuf_[k];
+                const auto counts = obs::fpChannelCounts(av);
+                obs::EmergencyTracker::ControlState ctrl;
+                ctrl.gating = av.gates.any();
+                ctrl.phantom = av.phantom.any();
+                accountCycle(cycle_, ampsBuf_[k], voltsBuf_[k], counts,
+                             ctrl, res, acc);
+                ++cycle_;
+                ++acc.cycles;
+                if (capture) {
+                    capture->amps.push_back(ampsBuf_[k]);
+                    std::array<uint16_t, obs::kNumFpChannels> c16;
+                    for (size_t ch = 0; ch < obs::kNumFpChannels; ++ch) {
+                        VGUARD_CHECK(counts[ch] <= 0xffffu);
+                        c16[ch] = static_cast<uint16_t>(counts[ch]);
+                    }
+                    capture->activity.push_back(c16);
+                }
+            }
+        }
+        if (p)
+            p->countBlock(n);
+    }
+}
+
+VoltageSimResult
+VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts,
+                CapturedTrace *capture)
+{
+    // Capturing a closed-loop run would bake one package's actuation
+    // feedback into the trace; only open-loop runs are cacheable.
+    VGUARD_CHECK(!capture || !controller_);
+
     VoltageSimResult res;
     res.voltageHist = Histogram(cfg_.histLo, cfg_.histHi, cfg_.histBins);
     res.minV = vNominal_;
@@ -127,51 +245,28 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
     profiler_.clear();
     const obs::Snapshot before = registry_.snapshot();
 
-    const double vLoBound = vNominal_ * (1.0 - cfg_.band);
-    const double vHiBound = vNominal_ * (1.0 + cfg_.band);
-    const double dt = 1.0 / cfg_.cpu.clockHz;
+    RunAccum acc;
+    acc.vLoBound = vNominal_ * (1.0 - cfg_.band);
+    acc.vHiBound = vNominal_ * (1.0 + cfg_.band);
+    acc.dt = 1.0 / cfg_.cpu.clockHz;
 
-    double energy = 0.0;
-    uint64_t cycles = 0;
-    while (cycles < maxCycles && !core_.halted() &&
-           core_.stats().committed < maxInsts) {
-        const TraceSample s = step();
-        ++cycles;
-        energy += s.amps * cfg_.power.vdd * dt;
-        res.minV = std::min(res.minV, s.volts);
-        res.maxV = std::max(res.maxV, s.volts);
-        res.voltageHist.add(s.volts);
-        if (s.volts < vLoBound) {
-            ++res.lowEmergencyCycles;
-            ++emLow_;
-        } else if (s.volts > vHiBound) {
-            ++res.highEmergencyCycles;
-            ++emHigh_;
-        }
+    if (controller_)
+        runClosedLoop(maxCycles, maxInsts, res, acc);
+    else
+        runOpenLoop(maxCycles, maxInsts, res, acc, capture);
 
-        {
-            obs::ScopedTimer t(lastProf_, obs::Phase::Events);
-            obs::EmergencyTracker::ControlState ctrl;
-            if (controller_) {
-                ctrl.sensorLevel =
-                    static_cast<int>(controller_->lastLevel());
-                ctrl.sensorReading =
-                    controller_->sensor().lastReading();
-            }
-            ctrl.gating = s.gated;
-            ctrl.phantom = s.phantom;
-            tracker_.step(s.cycle, s.volts, *lastAv_, ctrl);
-        }
-    }
     tracker_.finish();
     vMinSeen_ = std::min(vMinSeen_, res.minV);
     vMaxSeen_ = std::max(vMaxSeen_, res.maxV);
 
-    res.cycles = cycles;
+    res.cycles = acc.cycles;
     res.committed = core_.stats().committed;
-    res.ipc = cycles ? static_cast<double>(res.committed) / cycles : 0.0;
-    res.energyJ = energy;
-    res.avgPowerW = cycles ? energy / (cycles * dt) : 0.0;
+    res.ipc = acc.cycles
+                  ? static_cast<double>(res.committed) / acc.cycles
+                  : 0.0;
+    res.energyJ = acc.energy;
+    res.avgPowerW =
+        acc.cycles ? acc.energy / (acc.cycles * acc.dt) : 0.0;
     if (controller_) {
         const auto &act = controller_->actuator();
         res.gatedCycles = act.gatedCycles();
@@ -180,6 +275,97 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts)
         res.highTriggers = act.highTriggers();
     }
     res.stats = registry_.snapshot().diff(before);
+    res.events = tracker_.log();
+    res.profile = profiler_.data();
+
+    if (capture) {
+        capture->committed = res.committed;
+        capture->halted = core_.halted();
+        capture->frontEnd = frontEndSubset(res.stats);
+    }
+    return res;
+}
+
+VoltageSimResult
+VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
+{
+    // Replay is only defined for open-loop configs: a controller would
+    // need the real core to actuate, which the trace has elided.
+    VGUARD_CHECK(!controller_);
+    VGUARD_CHECK(blockCycles > 0);
+    VGUARD_CHECK(trace.amps.size() == trace.activity.size());
+
+    VoltageSimResult res;
+    res.voltageHist = Histogram(cfg_.histLo, cfg_.histHi, cfg_.histBins);
+    res.minV = vNominal_;
+    res.maxV = vNominal_;
+
+    tracker_.clear();
+    profiler_.clear();
+    const obs::Snapshot before = registry_.snapshot();
+
+    RunAccum acc;
+    acc.vLoBound = vNominal_ * (1.0 - cfg_.band);
+    acc.vHiBound = vNominal_ * (1.0 + cfg_.band);
+    acc.dt = 1.0 / cfg_.cpu.clockHz;
+
+    voltsBuf_.resize(blockCycles);
+    obs::Profiler *p = profiling_ ? &profiler_ : nullptr;
+
+    const size_t total = trace.amps.size();
+    size_t done = 0;
+    while (done < total) {
+        const size_t n = std::min(blockCycles, total - done);
+        const double *amps = trace.amps.data() + done;
+        {
+            obs::ScopedTimer t(p, obs::Phase::Pdn);
+            if (cfg_.useConvolution) {
+                for (size_t k = 0; k < n; ++k)
+                    voltsBuf_[k] = conv_->step(amps[k]);
+            } else {
+                pdn_.stepMany(amps, n, voltsBuf_.data());
+            }
+        }
+        {
+            obs::ScopedTimer t(p, obs::Phase::Events);
+            for (size_t k = 0; k < n; ++k) {
+                std::array<uint32_t, obs::kNumFpChannels> counts;
+                const auto &c16 = trace.activity[done + k];
+                for (size_t ch = 0; ch < obs::kNumFpChannels; ++ch)
+                    counts[ch] = c16[ch];
+                // Open-loop runs never gate: the default ControlState
+                // matches what the full-core path records.
+                accountCycle(cycle_, amps[k], voltsBuf_[k], counts,
+                             obs::EmergencyTracker::ControlState{},
+                             res, acc);
+                ++cycle_;
+                ++acc.cycles;
+            }
+        }
+        if (p)
+            p->countBlock(n);
+        done += n;
+    }
+
+    tracker_.finish();
+    vMinSeen_ = std::min(vMinSeen_, res.minV);
+    vMaxSeen_ = std::max(vMaxSeen_, res.maxV);
+
+    res.cycles = acc.cycles;
+    res.committed = trace.committed;
+    res.ipc = acc.cycles
+                  ? static_cast<double>(res.committed) / acc.cycles
+                  : 0.0;
+    res.energyJ = acc.energy;
+    res.avgPowerW =
+        acc.cycles ? acc.energy / (acc.cycles * acc.dt) : 0.0;
+
+    // The live diff reports zeroed cpu.*/power.* entries (the core and
+    // power model never stepped); splice the capture run's front-end
+    // entries in verbatim so the snapshot matches a full-core run.
+    res.stats = registry_.snapshot().diff(before);
+    for (const auto &e : trace.frontEnd.entries())
+        res.stats.upsertEntry(e);
     res.events = tracker_.log();
     res.profile = profiler_.data();
     return res;

@@ -7,6 +7,18 @@
  * Supports both voltage back-ends — direct state-space stepping and
  * the paper's convolution-with-impulse-response pipeline — which are
  * verified equivalent in tests.
+ *
+ * Two fast paths exist for runs without a controller (open loop, no
+ * actuation feedback), both bit-identical to the per-cycle loop:
+ *
+ *  - run() automatically batches open-loop runs: activity vectors are
+ *    gathered in blocks, converted to amps by WattchModel::currentBlock
+ *    and to volts by PdnSim::stepMany (or the convolver), then the
+ *    per-cycle bookkeeping sweeps the block. Optionally captures the
+ *    current/activity trace for the cache (core/trace_cache.hpp).
+ *  - runReplay() skips the core and power model entirely, driving the
+ *    PDN + emergency bookkeeping from a captured trace; front-end
+ *    stats are spliced in from the capture.
  */
 
 #ifndef VGUARD_CORE_VOLTAGE_SIM_HPP
@@ -16,6 +28,7 @@
 #include <optional>
 
 #include "core/controller.hpp"
+#include "core/trace_cache.hpp"
 #include "cpu/core.hpp"
 #include "obs/events.hpp"
 #include "obs/metrics.hpp"
@@ -124,12 +137,30 @@ class VoltageSim
      */
     TraceSample step();
 
+    /** Cycles per block in the batched open-loop/replay pipelines. */
+    static constexpr size_t kBlockCycles = 256;
+
     /**
      * Run until @p maxCycles cycles or @p maxInsts committed
      * instructions (whichever first) or program halt.
+     *
+     * When @p capture is non-null the run also records the per-cycle
+     * current waveform + activity fingerprint stream into it (legal
+     * only without a controller — capture of a closed-loop run would
+     * bake one package's actuation into the trace).
      */
-    VoltageSimResult run(uint64_t maxCycles,
-                         uint64_t maxInsts = ~0ull);
+    VoltageSimResult run(uint64_t maxCycles, uint64_t maxInsts = ~0ull,
+                         CapturedTrace *capture = nullptr);
+
+    /**
+     * Replay a captured open-loop trace against this sim's PDN (and
+     * voltage back-end), skipping the core and power model. Requires a
+     * controller-free config whose (cpu, power) match the capture —
+     * the result (including stats and emergency events) is
+     * byte-identical to a fresh full-core run().
+     */
+    VoltageSimResult runReplay(const CapturedTrace &trace,
+                               size_t blockCycles = kBlockCycles);
 
     bool halted() const { return core_.halted(); }
     const cpu::OoOCore &core() const { return core_; }
@@ -144,6 +175,30 @@ class VoltageSim
     obs::Snapshot statsSnapshot() const { return registry_.snapshot(); }
 
   private:
+    /** Per-run scalar accumulators shared by the three loop bodies. */
+    struct RunAccum
+    {
+        double energy = 0.0;
+        uint64_t cycles = 0;
+        double vLoBound = 0.0;
+        double vHiBound = 0.0;
+        double dt = 0.0;
+    };
+
+    /** The original per-cycle loop (controller in the loop). */
+    void runClosedLoop(uint64_t maxCycles, uint64_t maxInsts,
+                       VoltageSimResult &res, RunAccum &acc);
+    /** Batched gather → currentBlock → stepMany open-loop pipeline. */
+    void runOpenLoop(uint64_t maxCycles, uint64_t maxInsts,
+                     VoltageSimResult &res, RunAccum &acc,
+                     CapturedTrace *capture);
+    /** Per-cycle bookkeeping shared by every loop body. */
+    void accountCycle(uint64_t cycle, double amps, double volts,
+                      const std::array<uint32_t, obs::kNumFpChannels>
+                          &counts,
+                      const obs::EmergencyTracker::ControlState &ctrl,
+                      VoltageSimResult &res, RunAccum &acc);
+
     VoltageSimConfig cfg_;
     cpu::OoOCore core_;
     power::WattchModel power_;
@@ -166,6 +221,11 @@ class VoltageSim
         step(), consumed by run()'s event tracking). */
     const cpu::ActivityVector *lastAv_ = nullptr;
     obs::Profiler *lastProf_ = nullptr;
+
+    /** Block scratch for the batched pipelines (sized once per run). */
+    std::vector<cpu::ActivityVector> avBuf_;
+    std::vector<double> ampsBuf_;
+    std::vector<double> voltsBuf_;
 
     // Cumulative (whole-sim-lifetime) counters bound into registry_;
     // run() reports per-run values via snapshot diffs.

@@ -69,15 +69,23 @@ MatN::operator*(double s) const
 std::vector<double>
 MatN::apply(const std::vector<double> &x) const
 {
+    std::vector<double> y;
+    applyInto(x, y);
+    return y;
+}
+
+void
+MatN::applyInto(const std::vector<double> &x, std::vector<double> &y) const
+{
     VGUARD_CHECK(x.size() == n_);
-    std::vector<double> y(n_, 0.0);
+    VGUARD_CHECK(&x != &y);
+    y.resize(n_);
     for (unsigned i = 0; i < n_; ++i) {
         double acc = 0.0;
         for (unsigned j = 0; j < n_; ++j)
             acc += at(i, j) * x[j];
         y[i] = acc;
     }
-    return y;
 }
 
 double
@@ -157,13 +165,18 @@ MatN::spectralRadiusEstimate() const
     }
 
     std::vector<double> v(n_);
+    std::vector<double> next(n_);
     for (unsigned i = 0; i < n_; ++i)
         v[i] = 1.0 / (1.0 + i); // deterministic, non-degenerate
     double logSum = 0.0;
     int counted = 0;
     const int warmup = 200, iters = 1400;
     for (int k = 0; k < iters; ++k) {
-        v = a.apply(v);
+        // Ping-pong through a preallocated buffer: the old
+        // v = a.apply(v) form allocated a fresh vector on all 1400
+        // iterations of every stability check.
+        a.applyInto(v, next);
+        v.swap(next);
         double norm = 0.0;
         for (double x : v)
             norm += x * x;
@@ -264,6 +277,38 @@ DiscreteStateSpaceN::next(std::vector<double> &x,
     // Swap instead of copy: the per-cycle PDN step must stay free of
     // allocations and avoid the element copy.
     x.swap(scratch_);
+}
+
+void
+DiscreteStateSpaceN::stepBlock2(std::vector<double> &x, double u0,
+                                const double *u1, size_t n,
+                                double *y) const
+{
+    VGUARD_CHECK(inputs_ == 2);
+    const unsigned ns = ad_.size();
+    VGUARD_CHECK(x.size() == ns);
+    scratch_.resize(ns);
+    for (size_t k = 0; k < n; ++k) {
+        const double u1k = u1[k];
+        // output(x, {u0, u1k}) with the input loop unrolled in the
+        // same j = 0, 1 order so results stay bit-identical.
+        double out = 0.0;
+        for (unsigned i = 0; i < ns; ++i)
+            out += c_[i] * x[i];
+        out += d_[0] * u0;
+        out += d_[1] * u1k;
+        y[k] = out;
+        // next(x, {u0, u1k}), same accumulation order as next().
+        for (unsigned i = 0; i < ns; ++i) {
+            double acc = 0.0;
+            for (unsigned j = 0; j < ns; ++j)
+                acc += ad_.at(i, j) * x[j];
+            acc += bd_[i * 2] * u0;
+            acc += bd_[i * 2 + 1] * u1k;
+            scratch_[i] = acc;
+        }
+        x.swap(scratch_);
+    }
 }
 
 double

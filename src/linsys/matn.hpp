@@ -14,6 +14,7 @@
 #ifndef VGUARD_LINSYS_MATN_HPP
 #define VGUARD_LINSYS_MATN_HPP
 
+#include <cstddef>
 #include <vector>
 
 namespace vguard::linsys {
@@ -38,6 +39,13 @@ class MatN
 
     /** Matrix-vector product. */
     std::vector<double> apply(const std::vector<double> &x) const;
+
+    /**
+     * Matrix-vector product into a caller-provided vector (resized on
+     * first use, then allocation-free). @p y must not alias @p x.
+     */
+    void applyInto(const std::vector<double> &x,
+                   std::vector<double> &y) const;
 
     /** Largest absolute entry. */
     double maxAbs() const;
@@ -90,6 +98,17 @@ class DiscreteStateSpaceN
     /** y = cᵀ x + dᵀ u. */
     double output(const std::vector<double> &x,
                   const std::vector<double> &u) const;
+
+    /**
+     * Block step for two-input systems with the first input held
+     * constant (the PDN case: u = [Vdd, I(t)]). For each k:
+     * y[k] = output(x, {u0, u1[k]}) then x advances via next() — the
+     * arithmetic is bit-identical to the per-cycle pair, only the loop
+     * overhead and the u-vector stores are hoisted. Allocation-free
+     * after the first call (preallocated scratch).
+     */
+    void stepBlock2(std::vector<double> &x, double u0, const double *u1,
+                    size_t n, double *y) const;
 
     double spectralRadiusEstimate() const
     {

@@ -56,9 +56,8 @@ ActivityWindow::ActivityWindow(size_t window)
 }
 
 void
-ActivityWindow::record(const cpu::ActivityVector &av)
+ActivityWindow::record(const std::array<uint32_t, kNumFpChannels> &counts)
 {
-    const auto counts = fpChannelCounts(av);
     std::array<uint32_t, kNumFpChannels> &slot = ring_[head_];
     if (seen_ >= ring_.size()) {
         // Evict the oldest cycle from the running sums.
@@ -170,12 +169,12 @@ EmergencyTracker::EmergencyTracker(double vLoBound, double vHiBound,
 
 void
 EmergencyTracker::step(uint64_t cycle, double v,
-                       const cpu::ActivityVector &av,
+                       const std::array<uint32_t, kNumFpChannels> &counts,
                        const ControlState &ctrl)
 {
     // The window includes the crossing cycle itself: record first so
     // the fingerprint covers "the N cycles up to and including entry".
-    window_.record(av);
+    window_.record(counts);
 
     const bool isLow = v < vLoBound_;
     const bool isHigh = v > vHiBound_;

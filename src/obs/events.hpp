@@ -71,7 +71,15 @@ class ActivityWindow
     explicit ActivityWindow(size_t window);
 
     /** Record one cycle of activity. */
-    void record(const cpu::ActivityVector &av);
+    void
+    record(const cpu::ActivityVector &av)
+    {
+        record(fpChannelCounts(av));
+    }
+
+    /** Record one cycle from pre-extracted channel counts (used by
+        trace replay, where no ActivityVector exists any more). */
+    void record(const std::array<uint32_t, kNumFpChannels> &counts);
 
     /** Per-channel sums over the last min(window, seen) cycles. */
     const std::array<uint64_t, kNumFpChannels> &sums() const
@@ -178,7 +186,17 @@ class EmergencyTracker
                      size_t fingerprintWindow, size_t maxEvents);
 
     /** Feed one simulated cycle. */
-    void step(uint64_t cycle, double v, const cpu::ActivityVector &av,
+    void
+    step(uint64_t cycle, double v, const cpu::ActivityVector &av,
+         const ControlState &ctrl)
+    {
+        step(cycle, v, fpChannelCounts(av), ctrl);
+    }
+
+    /** Feed one simulated cycle from pre-extracted channel counts
+        (trace replay; identical episode/fingerprint behaviour). */
+    void step(uint64_t cycle, double v,
+              const std::array<uint32_t, kNumFpChannels> &counts,
               const ControlState &ctrl);
 
     /** Close any episode still open at end of run. */

@@ -125,6 +125,15 @@ class Snapshot
     /** Gauge value by name (fallback when absent or not a gauge). */
     double gaugeValue(std::string_view name, double fallback = 0.0) const;
 
+    /**
+     * Insert-or-replace a fully-formed entry, keeping sorted order.
+     * Unlike merge(), no MergeRule is applied — the entry lands
+     * verbatim. Used to splice cached front-end stats into a replayed
+     * run's snapshot (see core/trace_cache.hpp), where rule-based
+     * merging would be wrong (e.g. Min against a zeroed live entry).
+     */
+    void upsertEntry(SnapshotEntry entry) { upsert(std::move(entry)); }
+
     /** Insert-or-replace helpers for hand-built aggregates. */
     void setCounter(std::string name, uint64_t value,
                     MergeRule rule = MergeRule::Sum,

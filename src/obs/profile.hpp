@@ -121,6 +121,19 @@ class Profiler
         return this;
     }
 
+    /**
+     * Account a whole block of cycles whose phase work ran inside
+     * block-level ScopedTimers (the batched open-loop/replay pipeline
+     * of core/voltage_sim). Every cycle's work was timed, so the block
+     * counts as both simulated and sampled.
+     */
+    void
+    countBlock(uint64_t cycles)
+    {
+        data_.cyclesTotal += cycles;
+        data_.cyclesSampled += cycles;
+    }
+
     void
     record(Phase phase, uint64_t nanos)
     {

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/compiler.hpp"
 #include "util/logging.hpp"
 
 namespace vguard::pdn {
@@ -124,12 +125,16 @@ PartitionedConvolver::step(double amps)
 
     // Direct head: y += sum_k h[k] * I(t-k), k < B. The newest sample
     // sits at in_[B + j], so the reads walk contiguously backwards and
-    // never leave the buffer (oldest index is j + 1 >= 1).
-    const double *x = in_.data() + block_ + j_;
+    // never leave the buffer (oldest index is j + 1 >= 1). head_ and
+    // in_ are distinct buffers, which restrict tells the vectoriser;
+    // the summation order (k ascending) is part of the bit-exactness
+    // contract with the naive Convolver and must not change.
+    const double *VGUARD_RESTRICT h = head_.data();
+    const double *VGUARD_RESTRICT x = in_.data() + block_ + j_;
     double acc = tail_[j_];
     const size_t n = head_.size();
     for (size_t k = 0; k < n; ++k)
-        acc += head_[k] * x[-static_cast<ptrdiff_t>(k)];
+        acc += h[k] * x[-static_cast<ptrdiff_t>(k)];
 
     ++j_;
     return vdd_ + acc;

@@ -48,13 +48,20 @@ PdnSim::registerStats(obs::Registry &r,
                    [this] { return iTrim_; });
 }
 
+void
+PdnSim::stepMany(const double *amps, size_t n, double *volts)
+{
+    dss_.stepBlock2(x_, vdd_, amps, n, volts);
+    steps_ += n;
+}
+
 std::vector<double>
 PdnSim::run(const std::vector<double> &amps)
 {
-    std::vector<double> vs;
-    vs.reserve(amps.size());
-    for (double i : amps)
-        vs.push_back(step(i));
+    // One sized allocation for the output; the stepping itself is
+    // allocation-free (see the regression guard in tests/test_pdn.cpp).
+    std::vector<double> vs(amps.size());
+    stepMany(amps.data(), amps.size(), vs.data());
     return vs;
 }
 

@@ -41,6 +41,15 @@ class PdnSim
      */
     double step(double amps);
 
+    /**
+     * Advance @p n cycles from a flat current trace, writing the die
+     * voltage of each cycle to @p volts. Bit-identical to n calls of
+     * step() — same discretised arithmetic in the same order — but
+     * allocation-free and without the per-call vector stores (the
+     * batched back-end of trace replay; see core/trace_cache.hpp).
+     */
+    void stepMany(const double *amps, size_t n, double *volts);
+
     /** Run a whole current trace; returns the voltage trace. */
     std::vector<double> run(const std::vector<double> &amps);
 

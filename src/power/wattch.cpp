@@ -30,6 +30,18 @@ unitName(Unit u)
     }
 }
 
+namespace {
+
+/** Does unit @p u belong to the actuator's FU gating group? */
+constexpr bool
+isFuUnit(Unit u)
+{
+    return u == Unit::IntAlu || u == Unit::IntMultDiv ||
+           u == Unit::FpAlu || u == Unit::FpMultDiv;
+}
+
+} // namespace
+
 WattchModel::WattchModel(const PowerConfig &pcfg,
                          const cpu::CpuConfig &ccfg)
     : pcfg_(pcfg), ccfg_(ccfg)
@@ -39,21 +51,46 @@ WattchModel::WattchModel(const PowerConfig &pcfg,
     for (double p : pcfg_.pMax)
         if (p < 0.0)
             fatal("WattchModel: negative unit power");
-}
 
-double
-WattchModel::unitPower(Unit u, bool gated, bool phantom, double act,
-                       double sw) const
-{
-    const double pmax = pcfg_.pMax[static_cast<size_t>(u)];
-    if (phantom)
-        return pmax; // fired at full tilt for voltage control
-    if (gated)
-        return pmax * pcfg_.gatedFrac;
-    const double idle =
-        u == Unit::L2 ? pcfg_.idleFracL2 : pcfg_.idleFrac;
-    const double a = std::clamp(act, 0.0, 1.0);
-    return pmax * (idle + (1.0 - idle) * a * sw);
+    // Build the flat per-unit tables once so power() is a sweep over
+    // parallel arrays instead of per-unit branching.
+    for (size_t u = 0; u < kNumUnits; ++u)
+        idleFrac_[u] = static_cast<Unit>(u) == Unit::L2
+                           ? pcfg_.idleFracL2
+                           : pcfg_.idleFrac;
+
+    // Clock tree: a fixed trunk plus load proportional to the ungated
+    // (or phantom-fired) share of total unit power. Only three unit
+    // groups can gate (fetch, FUs, DL1), so the whole per-cycle loop
+    // collapses to 8 precomputed values — built with the exact
+    // summation order of the per-unit loop, keeping every result
+    // bit-identical to the unbatched model.
+    for (unsigned mask = 0; mask < 8; ++mask) {
+        const bool liveFetch = mask & 1u;
+        const bool liveFu = mask & 2u;
+        const bool liveDl1 = mask & 4u;
+        double loadMax = 0.0, loadLive = 0.0;
+        for (size_t u = 0; u + 1 < kNumUnits; ++u) {
+            const double pm = pcfg_.pMax[u];
+            loadMax += pm;
+            const Unit uu = static_cast<Unit>(u);
+            bool live = true;
+            if (uu == Unit::Fetch)
+                live = liveFetch;
+            else if (uu == Unit::Dl1)
+                live = liveDl1;
+            else if (isFuUnit(uu))
+                live = liveFu;
+            if (live)
+                loadLive += pm;
+        }
+        const double ungatedFrac =
+            loadMax > 0.0 ? loadLive / loadMax : 1.0;
+        clockPower_[mask] =
+            pcfg_.pMax[static_cast<size_t>(Unit::Clock)] *
+            (pcfg_.clockFixedFrac +
+             (1.0 - pcfg_.clockFixedFrac) * ungatedFrac);
+    }
 }
 
 double
@@ -70,82 +107,79 @@ WattchModel::power(const ActivityVector &av)
         return d ? static_cast<double>(n) / d : 0.0;
     };
 
-    auto &p = last_;
-    p.fill(0.0);
-
-    p[static_cast<size_t>(Unit::Fetch)] = unitPower(
-        Unit::Fetch, g.il1, ph.il1, frac(av.fetched, ccfg_.fetchWidth),
-        sw);
-    p[static_cast<size_t>(Unit::Bpred)] =
-        unitPower(Unit::Bpred, false, false,
-                  frac(av.bpredLookups, ccfg_.fetchWidth), sw);
-    p[static_cast<size_t>(Unit::Dispatch)] =
-        unitPower(Unit::Dispatch, false, false,
-                  frac(av.dispatched, ccfg_.decodeWidth), sw);
-    p[static_cast<size_t>(Unit::Window)] = unitPower(
-        Unit::Window, false, false,
-        0.5 * frac(av.dispatched + av.writebacks, 2 * ccfg_.decodeWidth) +
-            0.5 * frac(av.ruuOccupancy, ccfg_.ruuSize),
-        sw);
-    p[static_cast<size_t>(Unit::Lsq)] = unitPower(
-        Unit::Lsq, false, false,
-        0.5 * frac(av.memPortsUsed, ccfg_.numMemPorts) +
-            0.5 * frac(av.lsqOccupancy, ccfg_.lsqSize),
-        sw);
-    p[static_cast<size_t>(Unit::RegFile)] = unitPower(
-        Unit::RegFile, false, false,
-        frac(av.regReads + av.regWrites, 3 * ccfg_.issueWidth), sw);
-
-    p[static_cast<size_t>(Unit::IntAlu)] =
-        unitPower(Unit::IntAlu, g.fu, ph.fu,
-                  frac(av.busyIntAlu, ccfg_.numIntAlu), sw);
-    p[static_cast<size_t>(Unit::IntMultDiv)] =
-        unitPower(Unit::IntMultDiv, g.fu, ph.fu,
-                  frac(av.busyIntMultDiv, ccfg_.numIntMultDiv), sw);
-    p[static_cast<size_t>(Unit::FpAlu)] =
-        unitPower(Unit::FpAlu, g.fu, ph.fu,
-                  frac(av.busyFpAlu, ccfg_.numFpAlu), sw);
-    p[static_cast<size_t>(Unit::FpMultDiv)] =
-        unitPower(Unit::FpMultDiv, g.fu, ph.fu,
-                  frac(av.busyFpMultDiv, ccfg_.numFpMultDiv), sw);
-
-    p[static_cast<size_t>(Unit::Dl1)] =
-        unitPower(Unit::Dl1, g.dl1, ph.dl1,
-                  frac(av.dcacheAccesses, ccfg_.numMemPorts), sw);
-    p[static_cast<size_t>(Unit::L2)] = unitPower(
-        Unit::L2, false, false, std::min<uint32_t>(av.l2Accesses, 1u),
-        sw);
-    p[static_cast<size_t>(Unit::ResultBus)] =
-        unitPower(Unit::ResultBus, false, false,
-                  frac(av.writebacks, ccfg_.issueWidth), sw);
-
-    // Clock tree: a fixed trunk plus load proportional to the ungated
-    // (or phantom-fired) share of total unit power.
-    double loadMax = 0.0, loadLive = 0.0;
-    for (size_t u = 0; u + 1 < kNumUnits; ++u) {
-        const double pm = pcfg_.pMax[u];
-        loadMax += pm;
-        const Unit uu = static_cast<Unit>(u);
-        bool gated = false;
-        bool phant = false;
-        if (uu == Unit::Fetch) {
-            gated = g.il1;
-            phant = ph.il1;
-        } else if (uu == Unit::Dl1) {
-            gated = g.dl1;
-            phant = ph.dl1;
-        } else if (uu == Unit::IntAlu || uu == Unit::IntMultDiv ||
-                   uu == Unit::FpAlu || uu == Unit::FpMultDiv) {
-            gated = g.fu;
-            phant = ph.fu;
-        }
-        if (!gated || phant)
-            loadLive += pm;
+    // SoA pass 1: per-unit utilisation and gate/phantom flags into
+    // flat arrays (the expressions match the unbatched model term for
+    // term; only the layout changed).
+    double act[kNumUnits];
+    bool gated[kNumUnits];
+    bool phantom[kNumUnits];
+    for (size_t u = 0; u < kNumUnits; ++u) {
+        gated[u] = false;
+        phantom[u] = false;
     }
-    const double ungatedFrac = loadMax > 0.0 ? loadLive / loadMax : 1.0;
-    p[static_cast<size_t>(Unit::Clock)] =
-        pcfg_.pMax[static_cast<size_t>(Unit::Clock)] *
-        (pcfg_.clockFixedFrac + (1.0 - pcfg_.clockFixedFrac) * ungatedFrac);
+    gated[static_cast<size_t>(Unit::Fetch)] = g.il1;
+    phantom[static_cast<size_t>(Unit::Fetch)] = ph.il1;
+    gated[static_cast<size_t>(Unit::Dl1)] = g.dl1;
+    phantom[static_cast<size_t>(Unit::Dl1)] = ph.dl1;
+    for (size_t u = 0; u < kNumUnits; ++u) {
+        if (isFuUnit(static_cast<Unit>(u))) {
+            gated[u] = g.fu;
+            phantom[u] = ph.fu;
+        }
+    }
+
+    act[static_cast<size_t>(Unit::Fetch)] =
+        frac(av.fetched, ccfg_.fetchWidth);
+    act[static_cast<size_t>(Unit::Bpred)] =
+        frac(av.bpredLookups, ccfg_.fetchWidth);
+    act[static_cast<size_t>(Unit::Dispatch)] =
+        frac(av.dispatched, ccfg_.decodeWidth);
+    act[static_cast<size_t>(Unit::Window)] =
+        0.5 * frac(av.dispatched + av.writebacks, 2 * ccfg_.decodeWidth) +
+        0.5 * frac(av.ruuOccupancy, ccfg_.ruuSize);
+    act[static_cast<size_t>(Unit::Lsq)] =
+        0.5 * frac(av.memPortsUsed, ccfg_.numMemPorts) +
+        0.5 * frac(av.lsqOccupancy, ccfg_.lsqSize);
+    act[static_cast<size_t>(Unit::RegFile)] =
+        frac(av.regReads + av.regWrites, 3 * ccfg_.issueWidth);
+    act[static_cast<size_t>(Unit::IntAlu)] =
+        frac(av.busyIntAlu, ccfg_.numIntAlu);
+    act[static_cast<size_t>(Unit::IntMultDiv)] =
+        frac(av.busyIntMultDiv, ccfg_.numIntMultDiv);
+    act[static_cast<size_t>(Unit::FpAlu)] =
+        frac(av.busyFpAlu, ccfg_.numFpAlu);
+    act[static_cast<size_t>(Unit::FpMultDiv)] =
+        frac(av.busyFpMultDiv, ccfg_.numFpMultDiv);
+    act[static_cast<size_t>(Unit::Dl1)] =
+        frac(av.dcacheAccesses, ccfg_.numMemPorts);
+    act[static_cast<size_t>(Unit::L2)] =
+        std::min<uint32_t>(av.l2Accesses, 1u);
+    act[static_cast<size_t>(Unit::ResultBus)] =
+        frac(av.writebacks, ccfg_.issueWidth);
+    act[static_cast<size_t>(Unit::Clock)] = 0.0;
+
+    // SoA pass 2: per-unit powers from the flat tables. Same formula
+    // as Wattch cc3: Pmax (phantom), Pmax*gatedFrac (gated), else
+    // Pmax*(idle + (1-idle)*a*s).
+    auto &p = last_;
+    const double *pmax = pcfg_.pMax.data();
+    for (size_t u = 0; u + 1 < kNumUnits; ++u) {
+        double pu;
+        if (phantom[u]) {
+            pu = pmax[u]; // fired at full tilt for voltage control
+        } else if (gated[u]) {
+            pu = pmax[u] * pcfg_.gatedFrac;
+        } else {
+            const double a = std::clamp(act[u], 0.0, 1.0);
+            pu = pmax[u] * (idleFrac_[u] + (1.0 - idleFrac_[u]) * a * sw);
+        }
+        p[u] = pu;
+    }
+
+    const unsigned liveMask = (!g.il1 || ph.il1 ? 1u : 0u) |
+                              (!g.fu || ph.fu ? 2u : 0u) |
+                              (!g.dl1 || ph.dl1 ? 4u : 0u);
+    p[static_cast<size_t>(Unit::Clock)] = clockPower_[liveMask];
 
     double total = 0.0;
     for (size_t u = 0; u < kNumUnits; ++u) {
@@ -153,6 +187,14 @@ WattchModel::power(const ActivityVector &av)
         wattCycles_[u] += p[u];
     }
     return total;
+}
+
+void
+WattchModel::currentBlock(const cpu::ActivityVector *avs, size_t n,
+                          double *amps)
+{
+    for (size_t k = 0; k < n; ++k)
+        amps[k] = power(avs[k]) / pcfg_.vdd;
 }
 
 void

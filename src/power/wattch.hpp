@@ -108,6 +108,15 @@ class WattchModel
     }
 
     /**
+     * Amps for a whole block of cycles: amps[k] = current(avs[k]).
+     * Bit-identical to per-cycle calls (same flat-table arithmetic in
+     * the same order); exists so the batched open-loop pipeline in
+     * core/voltage_sim.cpp converts activity to current in one sweep.
+     */
+    void currentBlock(const cpu::ActivityVector *avs, size_t n,
+                      double *amps);
+
+    /**
      * Lowest reachable power: every actuator-controllable unit gated
      * and no activity anywhere. This is the paper's "minimum power
      * value" used to design thresholds and the target impedance.
@@ -156,11 +165,19 @@ class WattchModel
     const PowerConfig &config() const { return pcfg_; }
 
   private:
-    double unitPower(Unit u, bool gated, bool phantom, double act,
-                     double sw) const;
-
     PowerConfig pcfg_;
     cpu::CpuConfig ccfg_;
+
+    // Flat SoA tables precomputed at construction so the per-cycle
+    // path is a branch-light sweep over parallel arrays:
+    //  - idleFrac_[u]: the cc3 idle fraction each unit uses;
+    //  - clockPower_[m]: full clock-tree power for every combination
+    //    of live/gated unit groups (bit 0 fetch, bit 1 FUs, bit 2 DL1),
+    //    computed with the exact summation order of the old per-cycle
+    //    loop so results stay bit-identical.
+    std::array<double, kNumUnits> idleFrac_{};
+    std::array<double, 8> clockPower_{};
+
     std::array<double, kNumUnits> last_{};
     std::array<double, kNumUnits> wattCycles_{};
 };

@@ -6,8 +6,12 @@
  */
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <complex>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -20,6 +24,65 @@
 #include "pdn/pdn_sim.hpp"
 #include "pdn/target_impedance.hpp"
 #include "util/rng.hpp"
+
+// ------------------------------------------------ allocation accounting
+//
+// Counting replacement for the global allocator, backing the
+// "allocation-free after warm-up" regression guards below: the batch
+// helpers (PdnSim::stepMany / DiscreteStateSpaceN::stepBlock2) and the
+// convolver step paths sit inside per-cycle simulation loops, so a
+// reintroduced per-call heap allocation is a real perf regression,
+// not a style nit.
+
+namespace {
+std::atomic<std::uint64_t> gAllocCount{0};
+}
+
+// GCC pairs new-expressions at call sites with the visible free()-based
+// operator delete and warns; replacing the global allocator with
+// malloc/free in one TU is well-defined, so the warning is spurious.
+#if defined(__GNUC__) && !defined(__clang__)
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+#endif
+
+void *
+operator new(std::size_t n)
+{
+    gAllocCount.fetch_add(1, std::memory_order_relaxed);
+    if (void *p = std::malloc(n ? n : 1))
+        return p;
+    throw std::bad_alloc{};
+}
+
+void *
+operator new[](std::size_t n)
+{
+    return operator new(n);
+}
+
+void
+operator delete(void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete(void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p) noexcept
+{
+    std::free(p);
+}
+
+void
+operator delete[](void *p, std::size_t) noexcept
+{
+    std::free(p);
+}
 
 namespace {
 
@@ -153,6 +216,57 @@ TEST(PdnSim, RunMatchesStep)
     const auto vs = a.run(trace);
     for (size_t i = 0; i < trace.size(); ++i)
         EXPECT_DOUBLE_EQ(vs[i], b.step(trace[i]));
+}
+
+TEST(PdnSim, StepManyMatchesStepBitExact)
+{
+    // stepMany is the batched back-end of trace replay: it must
+    // reproduce per-cycle step() exactly (same discretised arithmetic
+    // in the same order), for any chunking of the trace.
+    PdnSim a(reference()), b(reference());
+    a.trimToCurrent(5.0);
+    b.trimToCurrent(5.0);
+
+    vguard::Rng rng(77);
+    std::vector<double> amps(1000);
+    for (double &x : amps)
+        x = 5.0 + 45.0 * rng.uniform();
+
+    std::vector<double> va(amps.size()), vb(amps.size());
+    for (size_t i = 0; i < amps.size(); ++i)
+        va[i] = a.step(amps[i]);
+
+    const size_t chunks[] = {1, 3, 64, 256};
+    size_t ci = 0, off = 0;
+    while (off < amps.size()) {
+        const size_t n = std::min(chunks[ci++ % 4], amps.size() - off);
+        b.stepMany(amps.data() + off, n, vb.data() + off);
+        off += n;
+    }
+    for (size_t i = 0; i < amps.size(); ++i)
+        EXPECT_EQ(va[i], vb[i]) << "cycle " << i;
+}
+
+TEST(PdnSim, StepPathsAllocationFreeAfterWarmup)
+{
+    PdnSim sim(reference());
+    sim.trimToCurrent(5.0);
+    std::vector<double> amps(512), volts(512);
+    for (size_t i = 0; i < amps.size(); ++i)
+        amps[i] = 5.0 + static_cast<double>(i % 50);
+    // First call sizes the state-space scratch buffers.
+    sim.stepMany(amps.data(), amps.size(), volts.data());
+
+    const std::uint64_t before =
+        gAllocCount.load(std::memory_order_relaxed);
+    for (int r = 0; r < 16; ++r)
+        sim.stepMany(amps.data(), amps.size(), volts.data());
+    for (int i = 0; i < 1000; ++i)
+        sim.step(20.0);
+    const std::uint64_t delta =
+        gAllocCount.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(delta, 0u)
+        << "stepMany/step must not allocate per call after warm-up";
 }
 
 TEST(Impulse, SumEqualsMinusDcResistance)
@@ -350,6 +464,58 @@ TEST(Partitioned, ResetReplaysIdentically)
     const auto second = replay();
     for (size_t i = 0; i < first.size(); ++i)
         EXPECT_DOUBLE_EQ(first[i], second[i]) << i;
+}
+
+TEST(Partitioned, SegmentedReuseMatchesNaiveAndReset)
+{
+    // VoltageSim reuses one convolver across back-to-back run() calls,
+    // so the overlap-save state must carry across arbitrary segment
+    // boundaries (including mid-frame ones) exactly like the naive
+    // convolver's ring buffer, and reset() must return both to the
+    // same primed-bias state.
+    const auto h = impulseResponse(reference());
+    Convolver naive(h, 1.0, 10.0);
+    PartitionedConvolver part(h, 1.0, 10.0);
+
+    vguard::Rng rng(99);
+    auto drive = [&](size_t cycles) {
+        double maxDev = 0.0;
+        for (size_t t = 0; t < cycles; ++t) {
+            const double amps = 5.0 + 50.0 * rng.uniform();
+            maxDev = std::max(
+                maxDev, std::fabs(naive.step(amps) - part.step(amps)));
+        }
+        return maxDev;
+    };
+
+    for (size_t seg : {size_t{7}, size_t{100}, size_t{128}, size_t{129},
+                       size_t{500}, size_t{1000}})
+        EXPECT_LT(drive(seg), 1e-12) << "segment " << seg;
+
+    naive.reset();
+    part.reset();
+    for (size_t seg : {size_t{3}, size_t{250}, size_t{640}})
+        EXPECT_LT(drive(seg), 1e-12) << "post-reset segment " << seg;
+}
+
+TEST(Partitioned, StepAllocationFreeAfterWarmup)
+{
+    const auto h = impulseResponse(reference());
+    PartitionedConvolver conv(h, 1.0, 10.0);
+    // Warm past several frame boundaries (FFT pushes, tail MACs).
+    for (int i = 0; i < 600; ++i)
+        conv.step(12.0);
+
+    const std::uint64_t before =
+        gAllocCount.load(std::memory_order_relaxed);
+    double sink = 0.0;
+    for (int i = 0; i < 2000; ++i)
+        sink += conv.step(12.0 + static_cast<double>(i & 7));
+    const std::uint64_t delta =
+        gAllocCount.load(std::memory_order_relaxed) - before;
+    EXPECT_EQ(delta, 0u)
+        << "partitioned convolver step must be allocation-free";
+    EXPECT_TRUE(std::isfinite(sink));
 }
 
 TEST(Partitioned, RejectsBadArguments)
