@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <cerrno>
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -106,7 +105,10 @@ CampaignEngine::forEach(size_t count,
 CampaignResult
 CampaignEngine::run(std::vector<CampaignJob> jobs) const
 {
-    const auto t0 = std::chrono::steady_clock::now();
+    // Whole-campaign wall time through the profiler's whitelisted
+    // wall-clock zone (vlint det-wallclock); feeds only the
+    // machine-dependent wallSeconds field, never the JSONL artifacts.
+    const obs::StopWatch wall;
 
     CampaignResult out;
     out.campaignSeed = opts_.campaignSeed;
@@ -165,10 +167,7 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         out.profile.merge(rr.sim.profile);
     }
 
-    out.wallSeconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      t0)
-            .count();
+    out.wallSeconds = wall.seconds();
     return out;
 }
 

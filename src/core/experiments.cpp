@@ -290,6 +290,9 @@ compareControlled(const isa::Program &program, const RunSpec &spec)
 uint64_t
 cycleBudget(uint64_t fallback)
 {
+    // Read on the main thread while parsing CLI options, before the
+    // campaign pool spawns (test_core.cpp toggles it sequentially).
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     if (const char *env = std::getenv("VGUARD_CYCLES")) {
         const unsigned long long v = std::strtoull(env, nullptr, 10);
         if (v > 0)

@@ -50,6 +50,9 @@ putCache(std::string &k, const cpu::CacheConfig &c)
 size_t
 envSizeMb(const char *name, size_t fallbackMb)
 {
+    // Read once during the cache singleton's magic-static init,
+    // before campaign workers exist; nothing mutates the environment.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv(name);
     if (!env || !*env)
         return fallbackMb;
@@ -61,6 +64,8 @@ envSizeMb(const char *name, size_t fallbackMb)
 bool
 envEnabled(const char *name)
 {
+    // Same single-shot init-time read as envSizeMb above.
+    // NOLINTNEXTLINE(concurrency-mt-unsafe)
     const char *env = std::getenv(name);
     if (!env)
         return true;
@@ -171,6 +176,10 @@ frontEndSubset(const obs::Snapshot &stats)
 TraceCache &
 TraceCache::instance()
 {
+    // The cache singleton is internally synchronized: map_ is guarded
+    // by m_ and per-entry once_flags serialize capture (see
+    // fetchOrCapture); magic-static init is itself thread-safe.
+    // vlint: allow(thread-static) internally synchronized singleton
     static TraceCache cache;
     return cache;
 }

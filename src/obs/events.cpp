@@ -100,7 +100,7 @@ EmergencyEvent::appendJsonl(std::string &out, std::string_view runName,
     w.field("v_bound", vBound);
     w.key("sensor").beginObject();
     if (sensorLevel >= 0) {
-        static const char *levels[] = {"low", "normal", "high"};
+        static const char *const levels[] = {"low", "normal", "high"};
         w.field("level",
                 sensorLevel <= 2 ? levels[sensorLevel] : "?");
         w.field("reading", sensorReading);

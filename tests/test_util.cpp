@@ -390,8 +390,9 @@ TEST(JsonWriter, NonFiniteSentinelsRoundTrip)
         const double back = std::strtod(inner.c_str(), nullptr);
         EXPECT_EQ(std::isnan(back), std::isnan(v));
         EXPECT_EQ(std::isinf(back), std::isinf(v));
-        if (!std::isnan(v))
+        if (!std::isnan(v)) {
             EXPECT_EQ(std::signbit(back), std::signbit(v));
+        }
     }
     // Finite values keep round-tripping exactly (shortest form).
     for (double v : {0.0, -0.25, 1e-300, 3.141592653589793}) {

@@ -1,0 +1,231 @@
+#include "lexer.hpp"
+
+#include <cctype>
+
+namespace vlint {
+
+namespace {
+
+bool
+identStart(char c)
+{
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool
+identCont(char c)
+{
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/** Cursor over the source with line tracking. */
+struct Cursor
+{
+    const std::string &s;
+    size_t i = 0;
+    int line = 1;
+
+    bool done() const { return i >= s.size(); }
+    char peek(size_t off = 0) const
+    {
+        return i + off < s.size() ? s[i + off] : '\0';
+    }
+    char
+    advance()
+    {
+        const char c = s[i++];
+        if (c == '\n')
+            ++line;
+        return c;
+    }
+};
+
+/** Consume a quoted literal (string or char) after the opening quote. */
+std::string
+quoted(Cursor &c, char quote)
+{
+    std::string out;
+    while (!c.done()) {
+        const char ch = c.advance();
+        if (ch == '\\' && !c.done()) {
+            out += ch;
+            out += c.advance();  // escaped char, may be the quote
+            continue;
+        }
+        if (ch == quote || ch == '\n')  // unterminated: stop at EOL
+            break;
+        out += ch;
+    }
+    return out;
+}
+
+/** Consume a raw string after `R"`; returns the body. */
+std::string
+rawString(Cursor &c)
+{
+    std::string delim;
+    while (!c.done() && c.peek() != '(' && delim.size() < 16)
+        delim += c.advance();
+    if (!c.done())
+        c.advance();  // '('
+    const std::string close = ")" + delim + "\"";
+    std::string out;
+    while (!c.done()) {
+        if (c.s.compare(c.i, close.size(), close) == 0) {
+            for (size_t k = 0; k < close.size(); ++k)
+                c.advance();
+            break;
+        }
+        out += c.advance();
+    }
+    return out;
+}
+
+} // namespace
+
+LexedFile
+lex(const std::string &source)
+{
+    LexedFile out;
+    Cursor c{source};
+    bool lineHasCode = false;  // any token so far on the current line
+
+    while (!c.done()) {
+        const int line = c.line;
+        const char ch = c.peek();
+
+        if (ch == '\n') {
+            lineHasCode = false;
+            c.advance();
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(ch))) {
+            c.advance();
+            continue;
+        }
+
+        // Comments.
+        if (ch == '/' && c.peek(1) == '/') {
+            c.advance();
+            c.advance();
+            std::string text;
+            while (!c.done() && c.peek() != '\n')
+                text += c.advance();
+            out.comments.push_back({text, line, !lineHasCode});
+            continue;
+        }
+        if (ch == '/' && c.peek(1) == '*') {
+            c.advance();
+            c.advance();
+            std::string text;
+            while (!c.done()) {
+                if (c.peek() == '*' && c.peek(1) == '/') {
+                    c.advance();
+                    c.advance();
+                    break;
+                }
+                text += c.advance();
+            }
+            out.comments.push_back({text, line, !lineHasCode});
+            continue;
+        }
+
+        // Preprocessor logical line (only when # starts the line's
+        // code). Splice `\` continuations; strip comments.
+        if (ch == '#' && !lineHasCode) {
+            std::string text;
+            while (!c.done()) {
+                if (c.peek() == '\\' && c.peek(1) == '\n') {
+                    c.advance();
+                    c.advance();
+                    text += ' ';
+                    continue;
+                }
+                if (c.peek() == '\n')
+                    break;
+                if (c.peek() == '/' && c.peek(1) == '/') {
+                    while (!c.done() && c.peek() != '\n')
+                        c.advance();
+                    break;
+                }
+                if (c.peek() == '/' && c.peek(1) == '*') {
+                    c.advance();
+                    c.advance();
+                    while (!c.done() &&
+                           !(c.peek() == '*' && c.peek(1) == '/'))
+                        c.advance();
+                    if (!c.done()) {
+                        c.advance();
+                        c.advance();
+                    }
+                    text += ' ';
+                    continue;
+                }
+                text += c.advance();
+            }
+            out.directives.push_back({text, line});
+            continue;
+        }
+
+        lineHasCode = true;
+
+        // Raw strings: R"...( )..." with optional encoding prefix.
+        if (ch == 'R' && c.peek(1) == '"') {
+            c.advance();
+            c.advance();
+            out.tokens.push_back({Tok::Str, rawString(c), line});
+            continue;
+        }
+        if ((ch == 'u' || ch == 'U' || ch == 'L') &&
+            (c.peek(1) == '"' || c.peek(1) == '\'')) {
+            c.advance();  // prefix; fall through next iteration
+            continue;
+        }
+
+        if (ch == '"') {
+            c.advance();
+            out.tokens.push_back({Tok::Str, quoted(c, '"'), line});
+            continue;
+        }
+        if (ch == '\'') {
+            c.advance();
+            out.tokens.push_back({Tok::Char, quoted(c, '\''), line});
+            continue;
+        }
+
+        if (identStart(ch)) {
+            std::string text;
+            while (!c.done() && identCont(c.peek()))
+                text += c.advance();
+            out.tokens.push_back({Tok::Ident, text, line});
+            continue;
+        }
+
+        // pp-number: digits, or '.' followed by a digit.
+        if (std::isdigit(static_cast<unsigned char>(ch)) ||
+            (ch == '.' &&
+             std::isdigit(static_cast<unsigned char>(c.peek(1))))) {
+            std::string text;
+            while (!c.done()) {
+                const char d = c.peek();
+                if (identCont(d) || d == '.' || d == '\'') {
+                    text += c.advance();
+                    if ((d == 'e' || d == 'E' || d == 'p' ||
+                         d == 'P') &&
+                        (c.peek() == '+' || c.peek() == '-'))
+                        text += c.advance();
+                    continue;
+                }
+                break;
+            }
+            out.tokens.push_back({Tok::Number, text, line});
+            continue;
+        }
+
+        out.tokens.push_back({Tok::Punct, std::string(1, ch), line});
+        c.advance();
+    }
+    return out;
+}
+
+} // namespace vlint

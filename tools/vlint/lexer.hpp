@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Minimal C++ lexer for the vlint project-invariant checker.
+ *
+ * vlint's rules operate on a *token stream*, not on raw text, so that
+ * banned identifiers inside comments, string literals, raw strings and
+ * character literals never produce false positives. The lexer
+ * understands exactly as much C++ as the rules need:
+ *
+ *  - `//` and `/ * * /` comments (recorded separately — suppression
+ *    comments like `// vlint: allow(rule) reason` live here);
+ *  - narrow/wide/raw string literals (`"..."`, `R"delim(...)delim"`)
+ *    and character literals, with escape sequences;
+ *  - preprocessor logical lines (with `\` continuations), recorded as
+ *    whole directives for the include/guard hygiene rules;
+ *  - identifiers, pp-numbers (so `1.0f`, `0x1p-3`, `1e-5` are single
+ *    tokens), and single-character punctuation.
+ *
+ * It does not build an AST; rules that need structure (function-local
+ * scope tracking, call-argument scanning) do light parsing over the
+ * token vector.
+ */
+
+#ifndef VGUARD_TOOLS_VLINT_LEXER_HPP
+#define VGUARD_TOOLS_VLINT_LEXER_HPP
+
+#include <string>
+#include <vector>
+
+namespace vlint {
+
+/** Token categories rules dispatch on. */
+enum class Tok {
+    Ident,   ///< identifier or keyword
+    Number,  ///< pp-number (includes suffixes: 1.0f, 10ull, 0x1p-3)
+    Str,     ///< string literal, text WITHOUT quotes/escapes decoded
+    Char,    ///< character literal, raw spelling
+    Punct,   ///< one punctuation character
+};
+
+struct Token
+{
+    Tok kind;
+    std::string text;  ///< identifier spelling / literal value
+    int line;          ///< 1-based line of the first character
+};
+
+/** A comment, kept out of the token stream but available to rules. */
+struct Comment
+{
+    std::string text;  ///< body without the // or / * * / markers
+    int line;          ///< line the comment starts on
+    bool ownLine;      ///< nothing but whitespace precedes it
+};
+
+/** One preprocessor logical line (continuations spliced). */
+struct Directive
+{
+    std::string text;  ///< full directive, `#` included, one space sep
+    int line;          ///< line of the `#`
+};
+
+/** The lexed view of one translation unit. */
+struct LexedFile
+{
+    std::vector<Token> tokens;
+    std::vector<Comment> comments;
+    std::vector<Directive> directives;
+};
+
+/** Lex @p source; never fails (unterminated constructs end the file). */
+LexedFile lex(const std::string &source);
+
+} // namespace vlint
+
+#endif // VGUARD_TOOLS_VLINT_LEXER_HPP

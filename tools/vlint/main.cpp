@@ -1,0 +1,118 @@
+/**
+ * @file
+ * vlint CLI: lint the tree, print findings, emit JSON, manage the
+ * baseline. Exit codes: 0 clean, 1 non-baselined findings, 2 usage.
+ *
+ *   vlint --root <repo> [--json out.json] [--baseline file]
+ *         [--write-baseline] [--list-rules] [--quiet]
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analyzer.hpp"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--root DIR] [--json FILE] [--baseline FILE]\n"
+        "          [--write-baseline] [--list-rules] [--quiet]\n",
+        argv0);
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    vlint::Options opt;
+    opt.root = ".";
+    std::string jsonPath;
+    bool writeBaseline = false, quiet = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--root") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opt.root = v;
+        } else if (arg == "--json") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            jsonPath = v;
+        } else if (arg == "--baseline") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opt.baselinePath = v;
+        } else if (arg == "--write-baseline") {
+            writeBaseline = true;
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else if (arg == "--list-rules") {
+            for (const auto &[name, desc] : vlint::ruleCatalog())
+                std::printf("%-18s %s\n", name.c_str(), desc.c_str());
+            return 0;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    const vlint::Report report = vlint::lintTree(opt);
+
+    if (writeBaseline) {
+        const std::string path =
+            opt.baselinePath.empty()
+                ? opt.root + "/tools/vlint/baseline.txt"
+                : opt.baselinePath;
+        std::ofstream out(path, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "vlint: cannot write %s\n",
+                         path.c_str());
+            return 2;
+        }
+        out << vlint::renderBaseline(report.findings);
+        std::printf("vlint: wrote %zu baseline entries to %s\n",
+                    report.findings.size(), path.c_str());
+        return 0;
+    }
+
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "vlint: cannot write %s\n",
+                         jsonPath.c_str());
+            return 2;
+        }
+        out << vlint::reportJson(report);
+    }
+
+    if (!quiet) {
+        for (const auto &f : report.findings)
+            std::printf("%s:%d: [%s] %s\n", f.file.c_str(), f.line,
+                        f.rule.c_str(), f.message.c_str());
+        for (const auto &k : report.staleBaseline)
+            std::fprintf(stderr,
+                         "vlint: stale baseline entry (fixed? "
+                         "remove it): %s\n",
+                         k.c_str());
+    }
+    std::printf("vlint: %d files, %zu findings (%zu baselined, %zu "
+                "suppressed, %zu stale baseline)\n",
+                report.filesScanned, report.findings.size(),
+                report.baselined.size(), report.suppressed.size(),
+                report.staleBaseline.size());
+    return report.findings.empty() ? 0 : 1;
+}
