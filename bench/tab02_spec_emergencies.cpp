@@ -9,7 +9,10 @@
  * from 200 % up.
  *
  * The 26 benchmarks x 4 impedances (+ 4 stressmark contrast runs) are
- * independent, so they execute on the campaign engine. Usage:
+ * independent, so they execute on the campaign engine. A closing
+ * section replays the stressmark's captured trace through thirteen
+ * packages (100-400 % in 25 % steps) in one pass of the lane-batched
+ * sweep engine to localise its first breach. Usage:
  *   tab02_spec_emergencies [--threads N] [--seed S] [--jsonl FILE]
  *                          [--stats-json FILE] [--events FILE]
  *                          [--progress]
@@ -20,6 +23,8 @@
 
 #include "core/campaign.hpp"
 #include "core/experiments.hpp"
+#include "core/replay_sweep.hpp"
+#include "power/wattch.hpp"
 #include "util/table.hpp"
 #include "workloads/spec_proxy.hpp"
 #include "workloads/stressmark.hpp"
@@ -141,6 +146,54 @@ main(int argc, char **argv)
                         res.emergencyCycles()),
                     100.0 * res.emergencyFrequency(), res.minV);
     }
+    // Fine-grained sweep: the coarse table steps impedance in 100 %
+    // jumps; the lane-batched replay engine is cheap enough to resolve
+    // where the stressmark's first breach actually sits. One captured
+    // trace, thirteen packages in a single batched pass (additive —
+    // the campaign artifacts above are unchanged).
+    {
+        RunSpec rs;
+        rs.impedanceScale = 1.0;
+        rs.controllerEnabled = false;
+        rs.maxCycles = cycles;
+        CapturedTrace fallback;
+        const CapturedTrace &trace = fetchTrace(stress, rs, fallback);
+        const VoltageSimConfig cfg = makeSimConfig(rs);
+        const double iTrim =
+            power::WattchModel(cfg.power, cfg.cpu).minCurrent();
+
+        std::vector<double> fine;
+        for (double s = 1.0; s <= 4.0 + 1e-9; s += 0.25)
+            fine.push_back(s);
+        std::vector<SweepLane> lanes;
+        for (const double s : fine)
+            lanes.push_back({referencePackage(s), iTrim, cfg.band,
+                             cfg.histLo, cfg.histHi, cfg.histBins});
+        const auto swept = replaySweep(trace.amps.data(),
+                                       trace.amps.size(), lanes);
+
+        std::printf("\nstressmark fine impedance sweep (batched "
+                    "replay, %zu lanes x %zu cycles):\n",
+                    lanes.size(), trace.amps.size());
+        Table fineT({"impedance", "min V", "max V", "emergencies",
+                     "frequency"});
+        for (size_t i = 0; i < fine.size(); ++i) {
+            const auto &r = swept[i];
+            const double freq =
+                r.cycles > 0
+                    ? static_cast<double>(r.emergencyCycles()) /
+                          static_cast<double>(r.cycles)
+                    : 0.0;
+            fineT.addRow({std::to_string(
+                              static_cast<int>(100.0 * fine[i])) +
+                              "%",
+                          Table::fmt(r.minV, 5), Table::fmt(r.maxV, 5),
+                          std::to_string(r.emergencyCycles()),
+                          Table::fmt(100.0 * freq, 3) + "%"});
+        }
+        std::printf("%s\n", fineT.ascii().c_str());
+    }
+
     std::printf("campaign: %zu runs on %u threads in %.2f s\n",
                 campaign.runs.size(), campaign.threadsUsed,
                 campaign.wallSeconds);

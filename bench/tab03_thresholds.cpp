@@ -37,8 +37,8 @@ main(int argc, char **argv)
     std::vector<std::pair<double, unsigned>> points;
     for (unsigned d = 0; d <= 6; ++d)
         points.emplace_back(2.0, d);
-    points.emplace_back(1.5, 2);
-    points.emplace_back(3.0, 2);
+    for (const double s : {1.25, 1.5, 2.5, 3.0, 4.0})
+        points.emplace_back(s, 2);
 
     const CampaignEngine engine(cli.options);
     engine.forEach(points.size(), [&](size_t i) {
@@ -62,9 +62,11 @@ main(int argc, char **argv)
                 "(paper Table 3 shape)\n",
                 monotone ? "yes" : "NO");
 
-    // Also show how impedance scaling moves the whole schedule.
+    // Also show how impedance scaling moves the whole schedule. Each
+    // solve probes all adversarial scenarios through the lane-batched
+    // backend, which keeps this denser leg cheap.
     std::printf("\nlow threshold at delay 2 vs package impedance:\n");
-    for (double s : {1.5, 2.0, 3.0}) {
+    for (double s : {1.25, 1.5, 2.0, 2.5, 3.0, 4.0}) {
         const auto &th = referenceThresholds(s, 2);
         std::printf("  %3.0f%%: vLow=%.4f vHigh=%.4f window=%.1f mV\n",
                     100.0 * s, th.vLow, th.vHigh,

@@ -249,6 +249,44 @@ runWorkload(const isa::Program &program, const RunSpec &spec)
     return sim.runReplay(*trace);
 }
 
+const CapturedTrace &
+fetchTrace(const isa::Program &program, const RunSpec &spec,
+           CapturedTrace &fallback)
+{
+    const VoltageSimConfig cfg = makeSimConfig(spec);
+    VGUARD_CHECK(!cfg.sensor);
+
+    auto capture = [&]() -> CapturedTrace {
+        CapturedTrace t;
+        VoltageSim sim(cfg, program);
+        sim.run(spec.maxCycles, spec.maxInsts, &t);
+        return t;
+    };
+
+    TraceCache &tc = TraceCache::instance();
+    if (!tc.enabled()) {
+        fallback = capture();
+        return fallback;
+    }
+    const std::string key = traceKey(program, cfg.cpu, cfg.power,
+                                     spec.maxCycles, spec.maxInsts);
+    bool captured = false;
+    const CapturedTrace *trace = tc.fetchOrCapture(key, [&] {
+        CapturedTrace t = capture();
+        fallback = t;
+        captured = true;
+        return t;
+    });
+    if (captured)
+        return fallback;
+    if (!trace) {
+        // Cache over budget for a non-capturing caller.
+        fallback = capture();
+        return fallback;
+    }
+    return *trace;
+}
+
 Comparison
 compareControlled(const isa::Program &program, const RunSpec &spec)
 {

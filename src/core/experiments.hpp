@@ -105,6 +105,19 @@ VoltageSimConfig makeSimConfig(const RunSpec &spec);
 VoltageSimResult runWorkload(const isa::Program &program,
                              const RunSpec &spec);
 
+/**
+ * Captured open-loop current trace for (program, spec) — the feed for
+ * multi-package replay sweeps (core/replay_sweep.hpp). Served from the
+ * trace cache when possible (one capture amortises across the whole
+ * sweep, and across runWorkload calls with the same key); captured
+ * into @p fallback — which must outlive the returned reference — when
+ * the cache is disabled or over budget. @p spec must be open-loop
+ * (controllerEnabled == false).
+ */
+const CapturedTrace &fetchTrace(const isa::Program &program,
+                                const RunSpec &spec,
+                                CapturedTrace &fallback);
+
 /** Controlled run vs uncontrolled baseline over the same work. */
 struct Comparison
 {

@@ -1,0 +1,64 @@
+#include "core/replay_sweep.hpp"
+
+#include <algorithm>
+
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+std::vector<SweepLaneResult>
+replaySweep(const double *amps, size_t n,
+            const std::vector<SweepLane> &lanes, pdn::BackendKind kind,
+            size_t blockCycles)
+{
+    VGUARD_CHECK(!lanes.empty());
+    VGUARD_CHECK(blockCycles > 0);
+
+    const size_t k = lanes.size();
+    std::vector<pdn::LaneConfig> cfgs;
+    cfgs.reserve(k);
+    for (const SweepLane &lane : lanes)
+        cfgs.push_back({lane.package, lane.iTrim});
+    const auto backend = pdn::makeBackend(kind, cfgs);
+
+    std::vector<SweepLaneResult> results(k);
+    // Per-lane emergency bounds, hoisted out of the cycle loop.
+    std::vector<double> vLo(k), vHi(k);
+    for (size_t lane = 0; lane < k; ++lane) {
+        const double vNom = lanes[lane].package.vNominal;
+        results[lane].minV = vNom;
+        results[lane].maxV = vNom;
+        results[lane].voltageHist = Histogram(
+            lanes[lane].histLo, lanes[lane].histHi, lanes[lane].histBins);
+        vLo[lane] = vNom * (1.0 - lanes[lane].band);
+        vHi[lane] = vNom * (1.0 + lanes[lane].band);
+    }
+
+    std::vector<double> volts(blockCycles * k);
+    size_t done = 0;
+    while (done < n) {
+        const size_t chunk = std::min(blockCycles, n - done);
+        backend->stepShared(amps + done, chunk, volts.data());
+        for (size_t cyc = 0; cyc < chunk; ++cyc) {
+            const double *row = volts.data() + cyc * k;
+            for (size_t lane = 0; lane < k; ++lane) {
+                SweepLaneResult &res = results[lane];
+                const double v = row[lane];
+                // Same bookkeeping (and branch structure) as
+                // VoltageSim::accountCycle's PDN-side subset.
+                res.minV = std::min(res.minV, v);
+                res.maxV = std::max(res.maxV, v);
+                res.voltageHist.add(v);
+                if (v < vLo[lane])
+                    ++res.lowEmergencyCycles;
+                else if (v > vHi[lane])
+                    ++res.highEmergencyCycles;
+                ++res.cycles;
+            }
+        }
+        done += chunk;
+    }
+    return results;
+}
+
+} // namespace vguard::core

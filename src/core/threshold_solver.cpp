@@ -4,8 +4,11 @@
 #include <cmath>
 #include <vector>
 
+#include <memory>
+
 #include "linsys/worst_case.hpp"
 #include "pdn/impulse.hpp"
+#include "pdn/pdn_backend.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "util/logging.hpp"
 
@@ -105,6 +108,88 @@ runScenario(PdnSim &sim, const ThresholdSpec &spec,
     }
 }
 
+/** Resolved regulator trim current (the default chain of the spec). */
+double
+trimCurrent(const ThresholdSpec &spec)
+{
+    const double iGate = spec.iGate >= 0.0 ? spec.iGate : spec.iMin;
+    return spec.iTrim >= 0.0 ? spec.iTrim : iGate;
+}
+
+/**
+ * Run *all* adversarial scenarios at once, one backend lane each, with
+ * the same per-lane controller logic as runScenario. Scenarios have
+ * unequal lengths; a finished lane keeps stepping at the trim current
+ * with its output ignored, so it cannot influence vMin/vMax. Because
+ * each lane's per-cycle arithmetic matches PdnSim::step exactly and
+ * min/max merging is order-independent, the result is bit-identical to
+ * looping runScenario over the suite (tests/test_backend_diff.cpp).
+ */
+void
+runScenariosBatched(pdn::PdnBackend &backend, const ThresholdSpec &spec,
+                    const std::vector<std::vector<double>> &scenarios,
+                    double vLow, double vHigh, double &vMin, double &vMax)
+{
+    const double iGate = spec.iGate >= 0.0 ? spec.iGate : spec.iMin;
+    const double iPhantom =
+        spec.iPhantom >= 0.0 ? spec.iPhantom : spec.iMax;
+    const double iTrim = trimCurrent(spec);
+
+    backend.reset();
+
+    const size_t k = scenarios.size();
+    const unsigned d = spec.delayCycles;
+    std::vector<double> delay(k * (d + 1), spec.vNominal);
+    std::vector<size_t> head(k, 0);
+    std::vector<double> amps(k, iTrim);
+    std::vector<double> volts(k, 0.0);
+
+    size_t maxLen = 0;
+    for (const auto &s : scenarios)
+        maxLen = std::max(maxLen, s.size());
+
+    for (size_t t = 0; t < maxLen; ++t) {
+        for (size_t lane = 0; lane < k; ++lane) {
+            if (t >= scenarios[lane].size()) {
+                amps[lane] = iTrim;
+                continue;
+            }
+            const double reading = delay[lane * (d + 1) + head[lane]];
+            double a = scenarios[lane][t];
+            if (reading + spec.sensorError < vLow)
+                a = iGate;
+            else if (reading - spec.sensorError > vHigh)
+                a = iPhantom;
+            amps[lane] = a;
+        }
+
+        backend.stepCycle(amps.data(), volts.data());
+
+        for (size_t lane = 0; lane < k; ++lane) {
+            if (t >= scenarios[lane].size())
+                continue;
+            const double v = volts[lane];
+            vMin = std::min(vMin, v);
+            vMax = std::max(vMax, v);
+            delay[lane * (d + 1) + head[lane]] = v;
+            head[lane] = head[lane] + 1 == d + 1 ? 0 : head[lane] + 1;
+        }
+    }
+}
+
+/** Backend with one lane per scenario (Batched engine only). */
+std::unique_ptr<pdn::PdnBackend>
+makeScenarioBackend(const PackageModel &model, const ThresholdSpec &spec,
+                    size_t scenarioCount)
+{
+    if (spec.engine != pdn::BackendKind::Batched)
+        return nullptr;
+    const std::vector<pdn::LaneConfig> lanes(
+        scenarioCount,
+        pdn::LaneConfig{model.params(), trimCurrent(spec)});
+    return pdn::makeBatchedBackend(lanes);
+}
+
 } // namespace
 
 void
@@ -115,9 +200,14 @@ closedLoopExtremes(const ThresholdSpec &spec, double vLow, double vHigh,
         spec.f0Hz, spec.zPeakOhms, spec.rDc, spec.rDamp, spec.clockHz,
         spec.vNominal);
     const auto scenarios = buildScenarios(model, spec);
-    PdnSim sim(model);
     vMinOut = spec.vNominal;
     vMaxOut = spec.vNominal;
+    if (auto backend = makeScenarioBackend(model, spec, scenarios.size())) {
+        runScenariosBatched(*backend, spec, scenarios, vLow, vHigh,
+                            vMinOut, vMaxOut);
+        return;
+    }
+    PdnSim sim(model);
     for (const auto &s : scenarios)
         runScenario(sim, spec, s, vLow, vHigh, vMinOut, vMaxOut);
 }
@@ -135,25 +225,37 @@ solveThresholds(const ThresholdSpec &spec)
         spec.f0Hz, spec.zPeakOhms, spec.rDc, spec.rDamp, spec.clockHz,
         spec.vNominal);
     const auto scenarios = buildScenarios(model, spec);
-    // One simulator serves every probe: runScenario re-trims (full
-    // state reset) on entry, and the solver makes ~600 probes.
+    // One simulator (or batched backend) serves every probe:
+    // runScenario re-trims / runScenariosBatched resets — a full state
+    // reset to the same DC point — and the solver makes ~600 probes.
     PdnSim sim(model);
+    auto backend = makeScenarioBackend(model, spec, scenarios.size());
 
     const double vFloor =
         spec.vNominal * (1.0 - spec.band) + spec.guardBandV;
     const double vCeil =
         spec.vNominal * (1.0 + spec.band) - spec.guardBandV;
 
-    auto lowSafe = [&](double vLow, double vHigh) {
-        double vMin = spec.vNominal, vMax = spec.vNominal;
+    auto evalAll = [&](double vLow, double vHigh, double &vMin,
+                       double &vMax) {
+        vMin = spec.vNominal;
+        vMax = spec.vNominal;
+        if (backend) {
+            runScenariosBatched(*backend, spec, scenarios, vLow, vHigh,
+                                vMin, vMax);
+            return;
+        }
         for (const auto &s : scenarios)
             runScenario(sim, spec, s, vLow, vHigh, vMin, vMax);
+    };
+    auto lowSafe = [&](double vLow, double vHigh) {
+        double vMin, vMax;
+        evalAll(vLow, vHigh, vMin, vMax);
         return vMin >= vFloor;
     };
     auto highSafe = [&](double vLow, double vHigh) {
-        double vMin = spec.vNominal, vMax = spec.vNominal;
-        for (const auto &s : scenarios)
-            runScenario(sim, spec, s, vLow, vHigh, vMin, vMax);
+        double vMin, vMax;
+        evalAll(vLow, vHigh, vMin, vMax);
         return vMax <= vCeil;
     };
 
@@ -215,10 +317,8 @@ solveThresholds(const ThresholdSpec &spec)
     // dynamics still violate.
     if (out.feasibleLow && out.feasibleHigh) {
         for (int iter = 0; iter < 16; ++iter) {
-            double vMin = spec.vNominal, vMax = spec.vNominal;
-            for (const auto &s : scenarios)
-                runScenario(sim, spec, s, out.vLow, out.vHigh, vMin,
-                            vMax);
+            double vMin, vMax;
+            evalAll(out.vLow, out.vHigh, vMin, vMax);
             const double lowViolation = vFloor - vMin;
             const double highViolation = vMax - vCeil;
             if (lowViolation <= 0.0 && highViolation <= 0.0)

@@ -21,6 +21,7 @@
 #define VGUARD_CORE_THRESHOLD_SOLVER_HPP
 
 #include "pdn/package_model.hpp"
+#include "pdn/pdn_backend.hpp"
 
 namespace vguard::core {
 
@@ -42,6 +43,15 @@ struct ThresholdSpec
     unsigned delayCycles = 0;  ///< sensor/controller loop delay
     double sensorError = 0.0;  ///< bounded reading error [V]
     double guardBandV = 0.0;   ///< extra safety margin inside the band
+
+    /**
+     * Stepping engine for the adversarial scenario suite. Batched runs
+     * all scenarios as lock-stepped lanes of one pdn::PdnBackend and
+     * is bit-identical to the sequential Scalar path (the per-lane
+     * arithmetic order matches PdnSim::step exactly and min/max
+     * merging commutes) — asserted by tests/test_backend_diff.cpp.
+     */
+    pdn::BackendKind engine = pdn::BackendKind::Batched;
 };
 
 /** Solver output. */

@@ -106,6 +106,14 @@ class DiscreteStateSpaceN
      * arithmetic is bit-identical to the per-cycle pair, only the loop
      * overhead and the u-vector stores are hoisted. Allocation-free
      * after the first call (preallocated scratch).
+     *
+     * This loop is also the project's canonical FP summation order
+     * ("state-major, then inputs in index order", every accumulator
+     * starting from +0.0): output(), next(), and the lane-batched
+     * pdn::BatchedPdnBackend kernel all follow it term for term, which
+     * is what makes batched replay bit-identical to scalar replay
+     * (asserted by tests/test_backend_diff.cpp; contraction is
+     * disabled globally so no target refuses a*b+c into an FMA).
      */
     void stepBlock2(std::vector<double> &x, double u0, const double *u1,
                     size_t n, double *y) const;
@@ -118,6 +126,16 @@ class DiscreteStateSpaceN
     unsigned states() const { return ad_.size(); }
     unsigned inputs() const { return inputs_; }
     double dt() const { return dt_; }
+
+    /**
+     * Read-only access to the discretised matrices, for batched PDN
+     * back-ends that replicate stepBlock2's exact summation order
+     * lane-wise from their own structure-of-arrays copies.
+     */
+    const MatN &ad() const { return ad_; }
+    const std::vector<double> &bd() const { return bd_; }
+    const std::vector<double> &c() const { return c_; }
+    const std::vector<double> &d() const { return d_; }
 
   private:
     DiscreteStateSpaceN() : ad_(1), bd_(0) {}

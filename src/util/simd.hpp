@@ -1,0 +1,197 @@
+/**
+ * @file
+ * Portable fixed-width lane pack for the batched PDN back-end.
+ *
+ * DoublePack holds kPackWidth doubles and exposes exactly the
+ * operations whose results are value-identical on every target:
+ * elementwise IEEE-754 add and multiply, broadcast, and unaligned
+ * load/store. That restriction is the point — a lane computed through
+ * DoublePack produces the same bytes as the same arithmetic written
+ * scalar, so the lane-batched kernels stay bit-identical to the scalar
+ * golden reference (DiscreteStateSpaceN::stepBlock2) on AVX2, NEON and
+ * the plain-array fallback alike.
+ *
+ * Deliberately absent: FMA (fused a*b+c rounds once instead of twice
+ * and would diverge from the scalar summation order), reciprocal /
+ * rsqrt approximations (target-dependent values), and horizontal
+ * reductions (order-ambiguous). The build pins -ffp-contract=off so
+ * the compiler cannot re-fuse the separate mul/add either, and vlint's
+ * `simd-intrinsic` rule keeps raw intrinsics from leaking out of this
+ * header (DESIGN.md §8).
+ *
+ * The AVX2/NEON variants only activate when the translation unit is
+ * compiled with the matching target flags (e.g. the VGUARD_AVX2 CMake
+ * option); default builds use the array fallback, which GCC
+ * auto-vectorises to baseline SSE2 — still elementwise, still
+ * bit-identical — and which already wins by breaking the serial
+ * state-update dependency chain across independent scenario lanes.
+ */
+
+#ifndef VGUARD_UTIL_SIMD_HPP
+#define VGUARD_UTIL_SIMD_HPP
+
+#include <cstddef>
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+#include <arm_neon.h>
+#endif
+
+namespace vguard::simd {
+
+/** Lanes per pack; batched state arrays pad their stride to this. */
+inline constexpr size_t kPackWidth = 4;
+
+#if defined(__AVX2__)
+
+/** Four doubles in one AVX register. */
+struct DoublePack
+{
+    __m256d v;
+
+    static DoublePack
+    load(const double *p)
+    {
+        return {_mm256_loadu_pd(p)};
+    }
+
+    void
+    store(double *p) const
+    {
+        _mm256_storeu_pd(p, v);
+    }
+
+    static DoublePack
+    broadcast(double x)
+    {
+        return {_mm256_set1_pd(x)};
+    }
+
+    static DoublePack
+    zero()
+    {
+        return {_mm256_setzero_pd()};
+    }
+
+    friend DoublePack
+    operator+(DoublePack a, DoublePack b)
+    {
+        return {_mm256_add_pd(a.v, b.v)};
+    }
+
+    friend DoublePack
+    operator*(DoublePack a, DoublePack b)
+    {
+        return {_mm256_mul_pd(a.v, b.v)};
+    }
+};
+
+#elif defined(__aarch64__) && defined(__ARM_NEON)
+
+/** Four doubles across two NEON registers. */
+struct DoublePack
+{
+    float64x2_t lo;
+    float64x2_t hi;
+
+    static DoublePack
+    load(const double *p)
+    {
+        return {vld1q_f64(p), vld1q_f64(p + 2)};
+    }
+
+    void
+    store(double *p) const
+    {
+        vst1q_f64(p, lo);
+        vst1q_f64(p + 2, hi);
+    }
+
+    static DoublePack
+    broadcast(double x)
+    {
+        return {vdupq_n_f64(x), vdupq_n_f64(x)};
+    }
+
+    static DoublePack
+    zero()
+    {
+        return {vdupq_n_f64(0.0), vdupq_n_f64(0.0)};
+    }
+
+    friend DoublePack
+    operator+(DoublePack a, DoublePack b)
+    {
+        return {vaddq_f64(a.lo, b.lo), vaddq_f64(a.hi, b.hi)};
+    }
+
+    friend DoublePack
+    operator*(DoublePack a, DoublePack b)
+    {
+        return {vmulq_f64(a.lo, b.lo), vmulq_f64(a.hi, b.hi)};
+    }
+};
+
+#else
+
+/** Four doubles in a plain array (auto-vectorisable fallback). */
+struct DoublePack
+{
+    double v[kPackWidth];
+
+    static DoublePack
+    load(const double *p)
+    {
+        DoublePack r;
+        for (size_t i = 0; i < kPackWidth; ++i)
+            r.v[i] = p[i];
+        return r;
+    }
+
+    void
+    store(double *p) const
+    {
+        for (size_t i = 0; i < kPackWidth; ++i)
+            p[i] = v[i];
+    }
+
+    static DoublePack
+    broadcast(double x)
+    {
+        DoublePack r;
+        for (size_t i = 0; i < kPackWidth; ++i)
+            r.v[i] = x;
+        return r;
+    }
+
+    static DoublePack
+    zero()
+    {
+        return broadcast(0.0);
+    }
+
+    friend DoublePack
+    operator+(DoublePack a, DoublePack b)
+    {
+        DoublePack r;
+        for (size_t i = 0; i < kPackWidth; ++i)
+            r.v[i] = a.v[i] + b.v[i];
+        return r;
+    }
+
+    friend DoublePack
+    operator*(DoublePack a, DoublePack b)
+    {
+        DoublePack r;
+        for (size_t i = 0; i < kPackWidth; ++i)
+            r.v[i] = a.v[i] * b.v[i];
+        return r;
+    }
+};
+
+#endif
+
+} // namespace vguard::simd
+
+#endif // VGUARD_UTIL_SIMD_HPP

@@ -18,6 +18,8 @@
 #include "cpu/core.hpp"
 #include "isa/executor.hpp"
 #include "isa/program.hpp"
+#include "pdn/pdn_backend.hpp"
+#include "pdn/package_model.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -192,5 +194,75 @@ TEST_P(FuzzSweep, ActivitySumsMatchStats)
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
                                            55, 89, 144, 233));
+
+// ----------------------------------------------- PDN backend fuzzing
+
+/**
+ * Fuzz lane for the batched PDN backend (ISSUE 6): random trace
+ * lengths, lane counts and — the part unit grids under-cover — random
+ * *block boundaries*, pushed through both backends. Asserts exact
+ * agreement everywhere; out-of-bounds lane padding or scratch misuse
+ * surfaces under the ASan/UBSan CI runs of this suite.
+ */
+class BackendFuzz : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(BackendFuzz, RandomTracesAndBlockBoundariesNeverDiverge)
+{
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 7);
+
+    const size_t k = 1 + rng.below(9);
+    std::vector<pdn::LaneConfig> lanes;
+    for (size_t i = 0; i < k; ++i)
+        lanes.push_back({pdn::PackageModel::design(
+                             rng.uniform(30e6, 150e6),
+                             rng.uniform(0.8e-3, 4e-3))
+                             .params(),
+                         rng.uniform(0.0, 30.0)});
+
+    std::vector<double> amps(1 + rng.below(5000));
+    for (double &a : amps)
+        a = rng.uniform(0.0, 60.0);
+
+    // Scalar reference: one unblocked pass.
+    const auto scalar = pdn::makeScalarBackend(lanes);
+    std::vector<double> ref(amps.size() * k);
+    scalar->stepShared(amps.data(), amps.size(), ref.data());
+
+    // Batched: the same trace fed in randomly-sized chunks (state must
+    // carry across stepShared calls exactly).
+    const auto batched = pdn::makeBatchedBackend(lanes);
+    std::vector<double> got(amps.size() * k);
+    size_t done = 0;
+    while (done < amps.size()) {
+        const size_t chunk =
+            std::min<size_t>(1 + rng.below(300), amps.size() - done);
+        batched->stepShared(amps.data() + done, chunk,
+                            got.data() + done * k);
+        done += chunk;
+    }
+
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ref[i], got[i])
+            << "cycle " << i / k << " lane " << i % k;
+
+    // Interleave per-cycle stepping on both, continuing from the
+    // streamed state — the two entry points must compose.
+    std::vector<double> cur(k), vs(k), vb(k);
+    for (size_t cyc = 0; cyc < 64; ++cyc) {
+        for (size_t lane = 0; lane < k; ++lane)
+            cur[lane] = rng.uniform(0.0, 60.0);
+        scalar->stepCycle(cur.data(), vs.data());
+        batched->stepCycle(cur.data(), vb.data());
+        for (size_t lane = 0; lane < k; ++lane)
+            ASSERT_EQ(vs[lane], vb[lane])
+                << "post-stream cycle " << cyc << " lane " << lane;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzz,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
+                                           55, 89));
 
 } // namespace

@@ -18,6 +18,7 @@
 #include "linsys/worst_case.hpp"
 #include "pdn/impulse.hpp"
 #include "pdn/package_model.hpp"
+#include "pdn/pdn_backend.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "util/rng.hpp"
 
@@ -199,5 +200,127 @@ INSTANTIATE_TEST_SUITE_P(
     Grid, SolverGrid,
     ::testing::Combine(::testing::Values(0u, 2u, 4u, 6u),
                        ::testing::Values(1.5, 2.0, 3.0)));
+
+// --------------------------------------- batched-backend properties
+
+/**
+ * Randomized invariants of the lane-batched PDN backend over seeded
+ * package/trim draws (see tests/test_backend_diff.cpp for the
+ * preset-grid differential suite). Each seed draws a lane count
+ * K ∈ [1, 8], K random packages and a random trace, then asserts the
+ * structural properties that make batching safe to use anywhere:
+ * per-lane independence, order independence, and padding isolation.
+ */
+class BatchedBackend : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    struct Draw
+    {
+        std::vector<pdn::LaneConfig> lanes;
+        std::vector<double> amps;
+    };
+
+    static Draw
+    draw(uint64_t seed)
+    {
+        Rng rng(seed);
+        Draw d;
+        const size_t k = 1 + rng.below(8);
+        for (size_t i = 0; i < k; ++i) {
+            const double f0 = rng.uniform(30e6, 150e6);
+            const double zPeak = rng.uniform(0.8e-3, 4e-3);
+            d.lanes.push_back(
+                {pdn::PackageModel::design(f0, zPeak).params(),
+                 rng.uniform(0.0, 30.0)});
+        }
+        d.amps.resize(500 + rng.below(3000));
+        for (double &a : d.amps)
+            a = rng.uniform(0.0, 50.0);
+        return d;
+    }
+
+    static std::vector<double>
+    runBatch(const std::vector<pdn::LaneConfig> &lanes,
+             const std::vector<double> &amps)
+    {
+        const auto backend = pdn::makeBatchedBackend(lanes);
+        std::vector<double> volts(amps.size() * lanes.size());
+        backend->stepShared(amps.data(), amps.size(), volts.data());
+        return volts;
+    }
+};
+
+TEST_P(BatchedBackend, IdenticalLanesEqualScalarRuns)
+{
+    // Property: a batch of K copies of one scenario behaves exactly
+    // like K independent scalar runs of it — lanes never interact.
+    const Draw d = draw(GetParam());
+    const std::vector<pdn::LaneConfig> copies(d.lanes.size(),
+                                              d.lanes[0]);
+    const auto volts = runBatch(copies, d.amps);
+
+    pdn::PdnSim sim(pdn::PackageModel(d.lanes[0].package));
+    sim.trimToCurrent(d.lanes[0].iTrim);
+    std::vector<double> ref(d.amps.size());
+    sim.stepMany(d.amps.data(), d.amps.size(), ref.data());
+
+    const size_t k = copies.size();
+    for (size_t cyc = 0; cyc < d.amps.size(); ++cyc)
+        for (size_t lane = 0; lane < k; ++lane)
+            ASSERT_EQ(volts[cyc * k + lane], ref[cyc])
+                << "cycle " << cyc << " lane " << lane;
+}
+
+TEST_P(BatchedBackend, PermutationInvariance)
+{
+    // Property: lane order is bookkeeping, not arithmetic — permuting
+    // the lane list permutes the output columns and nothing else.
+    const Draw d = draw(GetParam());
+    const auto base = runBatch(d.lanes, d.amps);
+
+    Rng rng(GetParam() ^ 0x9e3779b97f4a7c15ull);
+    std::vector<size_t> perm(d.lanes.size());
+    for (size_t i = 0; i < perm.size(); ++i)
+        perm[i] = i;
+    for (size_t i = perm.size(); i > 1; --i)
+        std::swap(perm[i - 1], perm[rng.below(i)]);
+
+    std::vector<pdn::LaneConfig> shuffled;
+    for (const size_t p : perm)
+        shuffled.push_back(d.lanes[p]);
+    const auto got = runBatch(shuffled, d.amps);
+
+    const size_t k = d.lanes.size();
+    for (size_t cyc = 0; cyc < d.amps.size(); ++cyc)
+        for (size_t lane = 0; lane < k; ++lane)
+            ASSERT_EQ(got[cyc * k + lane], base[cyc * k + perm[lane]])
+                << "cycle " << cyc << " lane " << lane;
+}
+
+TEST_P(BatchedBackend, PaddingInvariance)
+{
+    // Property: appending lanes (changing how the batch divides into
+    // SIMD packs, and which lane pads the tail) never perturbs the
+    // lanes already present.
+    const Draw d = draw(GetParam());
+    const auto base = runBatch(d.lanes, d.amps);
+
+    auto extended = d.lanes;
+    extended.push_back(d.lanes[0]);
+    extended.push_back(
+        {pdn::PackageModel::design(80e6, 2.2e-3).params(), 12.0});
+    const auto got = runBatch(extended, d.amps);
+
+    const size_t k = d.lanes.size();
+    const size_t ke = extended.size();
+    for (size_t cyc = 0; cyc < d.amps.size(); ++cyc)
+        for (size_t lane = 0; lane < k; ++lane)
+            ASSERT_EQ(got[cyc * ke + lane], base[cyc * k + lane])
+                << "cycle " << cyc << " lane " << lane;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BatchedBackend,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));
 
 } // namespace

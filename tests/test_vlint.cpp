@@ -173,6 +173,48 @@ TEST(VlintFpFloat, CpuActivityFactorsMayUseFloat)
                          "fp-float"));
 }
 
+// ------------------------------------------------------ simd-intrinsic
+
+TEST(VlintSimdIntrinsic, FlagsRawIntrinsicsOutsideWrapper)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/pdn/x.cpp",
+                   "__m256d v = _mm256_mul_pd(a, b);"),
+        "simd-intrinsic"));
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/x.cpp",
+                   "float64x2_t r = vfmaq_f64(c, a, b);"),
+        "simd-intrinsic"));
+    EXPECT_TRUE(hasRule(lintSource("bench/x.cpp",
+                                   "auto z = _mm512_add_pd(a, b);"),
+                        "simd-intrinsic"));
+}
+
+TEST(VlintSimdIntrinsic, WrapperHeaderIsExempt)
+{
+    EXPECT_FALSE(hasRule(
+        lintSource("src/util/simd.hpp",
+                   "__m256d v = _mm256_add_pd(a.v, b.v);"),
+        "simd-intrinsic"));
+}
+
+TEST(VlintSimdIntrinsic, OrdinaryIdentifiersPass)
+{
+    EXPECT_FALSE(hasRule(
+        lintSource("src/pdn/x.cpp",
+                   "double vstep = vlast + mm * 2.0;"),
+        "simd-intrinsic"));
+}
+
+TEST(VlintSimdIntrinsic, FloatStaysBannedInsideWrapper)
+{
+    // The wrapper escapes the intrinsic rule but not fp-float: its
+    // packs are double-only by contract.
+    EXPECT_TRUE(hasRule(lintSource("src/util/simd.hpp",
+                                   "float x = 1.0f;"),
+                        "fp-float"));
+}
+
 // ---------------------------------------------------------- fp-pow-int
 
 TEST(VlintPowInt, FlagsIntegerExponent)

@@ -60,12 +60,14 @@ inResultDir(const std::string &relpath)
            startsWith(relpath, "src/cpu/");
 }
 
-/** Double-only numeric paths where float would break bit-stability. */
+/** Double-only numeric paths where float would break bit-stability.
+    The SIMD wrapper is included: its packs are double-only too. */
 bool
 inFpDir(const std::string &relpath)
 {
     return startsWith(relpath, "src/linsys/") ||
-           startsWith(relpath, "src/pdn/");
+           startsWith(relpath, "src/pdn/") ||
+           relpath == "src/util/simd.hpp";
 }
 
 // ----------------------------------------------------------- context
@@ -265,6 +267,40 @@ ruleFpFloat(FileCtx &ctx)
             ctx.add("fp-float", t.line,
                     "float literal '" + t.text +
                         "' in a double-only numeric path");
+    }
+}
+
+// ---------------------------------------------------- simd-intrinsic
+
+void
+ruleSimdIntrinsic(FileCtx &ctx)
+{
+    // util/simd.hpp is the single sanctioned intrinsics zone: its
+    // DoublePack exposes only elementwise IEEE add/mul, which are
+    // value-identical across scalar/SSE/AVX/NEON lanes. Raw
+    // intrinsics elsewhere could smuggle in FMA, rsqrt approximations
+    // or width-dependent reductions that break the bit-identity
+    // contract of the batched kernels (DESIGN.md §5).
+    if (ctx.relpath == "src/util/simd.hpp")
+        return;
+    static const std::vector<std::string> prefixes = {
+        "_mm",      "__m128",   "__m256", "__m512", "float32x",
+        "float64x", "int32x",   "int64x", "vld1",   "vst1",
+        "vdupq",    "vaddq",    "vsubq",  "vmulq",  "vfmaq",
+        "vfmsq",    "vgetq",    "vsetq"};
+    for (const Token &t : ctx.lf.tokens) {
+        if (t.kind != Tok::Ident)
+            continue;
+        for (const std::string &p : prefixes) {
+            if (!startsWith(t.text, p))
+                continue;
+            ctx.add("simd-intrinsic", t.line,
+                    "SIMD intrinsic '" + t.text +
+                        "' outside src/util/simd.hpp; go through "
+                        "simd::DoublePack so every lane stays "
+                        "bit-identical to the scalar reference");
+            break;
+        }
     }
 }
 
@@ -656,6 +692,8 @@ ruleCatalog()
              "directories"},
             {"fp-float",
              "float types/literals in src/{linsys,pdn} double paths"},
+            {"simd-intrinsic",
+             "raw SIMD intrinsics outside src/util/simd.hpp"},
             {"fp-pow-int",
              "std::pow with an integer-literal exponent in src/"},
             {"thread-static",
@@ -700,6 +738,7 @@ lintSource(const std::string &relpath, const std::string &content,
     ruleDetWallclock(ctx);
     ruleDetUnordered(ctx);
     ruleFpFloat(ctx);
+    ruleSimdIntrinsic(ctx);
     ruleFpPowInt(ctx);
     ruleThreadStatic(ctx);
     ruleMetricName(ctx);

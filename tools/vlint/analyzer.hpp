@@ -18,7 +18,9 @@
  *                     (src/core, src/pdn, src/power, src/cpu)
  *   det-ptr-key       pointer-keyed std::map/std::set in those dirs
  *   fp-float          float type/literals in the double-only numeric
- *                     paths (src/linsys, src/pdn)
+ *                     paths (src/linsys, src/pdn, util/simd.hpp)
+ *   simd-intrinsic    raw SIMD intrinsics (_mm.., __m256.., NEON
+ *                     vaddq..) outside the wrapper util/simd.hpp
  *   fp-pow-int        std::pow(x, <integer literal>) in numeric dirs —
  *                     use multiplication chains for bit-stability
  *   thread-static     function-local mutable `static` without
