@@ -24,7 +24,12 @@
  * lanes × cycles / seconds. The batched output is asserted
  * byte-identical to the scalar backend's (lanesIdentical) and the
  * ratio is reported as batchedSpeedup; CI enforces a floor on it.
- * Writes BENCH_simloop.json.
+ *
+ * A chip-sweep section then times the many-core shared-rail path
+ * (core/multicore_sim): 8 chips × 4 staggered replay cores each,
+ * scalar vs batched stepPerLane, with exact per-lane agreement
+ * reported as chipLanesIdentical (CI floor) and the throughput ratio
+ * as chipBatchedSpeedup. Writes BENCH_simloop.json.
  *
  * Usage:
  *   bench_simloop [cycles] [--jsonl FILE]
@@ -43,6 +48,7 @@
 
 #include "core/campaign.hpp"
 #include "core/experiments.hpp"
+#include "core/multicore_sim.hpp"
 #include "core/trace_cache.hpp"
 #include "core/voltage_sim.hpp"
 #include "pdn/pdn_backend.hpp"
@@ -218,6 +224,47 @@ main(int argc, char **argv)
                 }
     }
 
+    // ---- chip sweep: 8 chips x 4 staggered cores per shared rail ---
+    // The many-core path (core/multicore_sim) sums per-core replay
+    // currents into per-chip rails and streams them through
+    // stepPerLane; scalar stays the bit-exact golden reference.
+    const size_t chipLanes = 8;
+    const size_t chipCores = 4;
+    std::vector<ChipSpec> chipSpecs;
+    for (size_t c = 0; c < chipLanes; ++c) {
+        ChipSpec chip;
+        chip.package = referencePackage(laneScales[c]);
+        chip.iTrim = iTrim * static_cast<double>(chipCores);
+        for (size_t i = 0; i < chipCores; ++i)
+            chip.cores.push_back(
+                {&trace, i * (nTrace / chipCores) + 13 * c, iTrim,
+                 0.0});
+        chipSpecs.push_back(std::move(chip));
+    }
+    std::vector<ChipResult> chipScalar, chipBatched;
+    const double chipScalarSecs = timeBest(kSweepReps, [&] {
+        chipScalar =
+            runChips(chipSpecs, nTrace, pdn::BackendKind::Scalar);
+    });
+    const double chipBatchedSecs = timeBest(kSweepReps, [&] {
+        chipBatched =
+            runChips(chipSpecs, nTrace, pdn::BackendKind::Batched);
+    });
+    bool chipLanesIdentical = chipScalar.size() == chipBatched.size();
+    for (size_t c = 0; chipLanesIdentical && c < chipScalar.size();
+         ++c) {
+        const ChipResult &a = chipScalar[c];
+        const ChipResult &b = chipBatched[c];
+        chipLanesIdentical =
+            a.minV == b.minV && a.maxV == b.maxV &&
+            a.lowEmergencyCycles == b.lowEmergencyCycles &&
+            a.highEmergencyCycles == b.highEmergencyCycles;
+        for (size_t bin = 0;
+             chipLanesIdentical && bin < a.voltageHist.bins(); ++bin)
+            chipLanesIdentical =
+                a.voltageHist.count(bin) == b.voltageHist.count(bin);
+    }
+
     const uint64_t laneCycles =
         static_cast<uint64_t>(nTrace) * laneCount;
     const double scalarLaneRate = rate(laneCycles, scalarLaneSecs);
@@ -254,6 +301,22 @@ main(int argc, char **argv)
                 batchedSpeedup);
     std::printf("lanes identical: %s\n", lanesIdentical ? "yes" : "NO");
 
+    const uint64_t chipLaneCycles =
+        static_cast<uint64_t>(nTrace) * chipLanes;
+    const double chipScalarRate = rate(chipLaneCycles, chipScalarSecs);
+    const double chipBatchedRate =
+        rate(chipLaneCycles, chipBatchedSecs);
+    const double chipBatchedSpeedup =
+        chipScalarRate > 0.0 ? chipBatchedRate / chipScalarRate : 0.0;
+    std::printf("%-22s %14s %10s\n", "chip sweep (8x4 cores)",
+                "chip-cycles/s", "speedup");
+    std::printf("%-22s %14.6g %9.2fx\n", "scalar chips",
+                chipScalarRate, 1.0);
+    std::printf("%-22s %14.6g %9.2fx\n", "batched chips",
+                chipBatchedRate, chipBatchedSpeedup);
+    std::printf("chip lanes identical: %s\n",
+                chipLanesIdentical ? "yes" : "NO");
+
     JsonWriter w;
     w.beginObject();
     w.field("bench", "simloop");
@@ -269,6 +332,12 @@ main(int argc, char **argv)
     w.field("batchedLaneCyclesPerSec", batchedLaneRate);
     w.field("batchedSpeedup", batchedSpeedup);
     w.field("lanesIdentical", lanesIdentical);
+    w.field("chipLanes", uint64_t{chipLanes});
+    w.field("chipCoresPerLane", uint64_t{chipCores});
+    w.field("chipScalarCyclesPerSec", chipScalarRate);
+    w.field("chipBatchedCyclesPerSec", chipBatchedRate);
+    w.field("chipBatchedSpeedup", chipBatchedSpeedup);
+    w.field("chipLanesIdentical", chipLanesIdentical);
     w.endObject();
 
     std::FILE *f = std::fopen(outPath.c_str(), "wb");

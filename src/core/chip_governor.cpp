@@ -1,0 +1,98 @@
+#include "core/chip_governor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hpp"
+
+namespace vguard::core {
+
+ChipGovernor::ChipGovernor(const ChipGovernorConfig &cfg, size_t cores,
+                           double vNominal, double band)
+    : cfg_(cfg), vRef_(cfg.vRefFrac * vNominal),
+      errScale_(1.0 / (band * vNominal)), budget_(cores),
+      ewma_(cores, 0.0), order_(cores)
+{
+    VGUARD_CHECK(cores >= 1);
+    VGUARD_CHECK(std::isfinite(vNominal) && vNominal > 0.0);
+    VGUARD_CHECK(std::isfinite(band) && band > 0.0);
+    VGUARD_CHECK(std::isfinite(cfg.kp) && cfg.kp >= 0.0);
+    VGUARD_CHECK(std::isfinite(cfg.ki) && cfg.ki >= 0.0);
+    VGUARD_CHECK(std::isfinite(cfg.integralClamp) &&
+                 cfg.integralClamp >= 0.0);
+    VGUARD_CHECK(cfg.ewmaAlpha > 0.0 && cfg.ewmaAlpha <= 1.0);
+}
+
+void
+ChipGovernor::observe(double vNow, const double *coreAmps)
+{
+    const size_t n = ewma_.size();
+    for (size_t i = 0; i < n; ++i)
+        ewma_[i] = (1.0 - cfg_.ewmaAlpha) * ewma_[i] +
+                   cfg_.ewmaAlpha * coreAmps[i];
+
+    // Normalized error: +1.0 when the rail sits a full emergency band
+    // below the setpoint. Positive error (droop) grows the budget.
+    const double err = (vRef_ - vNow) * errScale_;
+    integral_ = std::clamp(integral_ + err, -cfg_.integralClamp,
+                           cfg_.integralClamp);
+    const double u = cfg_.kp * err + cfg_.ki * integral_;
+    const double slots = std::floor(u * static_cast<double>(n) + 0.5);
+    budget_ = slots <= 0.0 ? 0
+              : slots >= static_cast<double>(n)
+                  ? n
+                  : static_cast<size_t>(slots);
+}
+
+void
+ChipGovernor::arbitrate(const std::vector<uint8_t> &gateRequest,
+                        std::vector<uint8_t> &grant)
+{
+    const size_t n = ewma_.size();
+    VGUARD_CHECK(gateRequest.size() == n);
+    grant.assign(n, 0);
+
+    size_t requesters = 0;
+    for (size_t i = 0; i < n; ++i) {
+        order_[i] = i;
+        requesters += gateRequest[i] != 0;
+    }
+    if (requesters == 0)
+        return;
+
+    // The local loop keeps its authority: the governor bounds how many
+    // throttle together, never whether anyone may respond at all.
+    const size_t slots = std::min(std::max<size_t>(budget_, 1),
+                                  requesters);
+
+    // Requesters first, hungriest (largest draw EWMA) first, index as
+    // the deterministic tiebreak. stable_sort keeps equal-EWMA order
+    // by index since order_ starts sorted.
+    std::stable_sort(order_.begin(), order_.end(),
+                     [&](size_t a, size_t b) {
+                         const bool ra = gateRequest[a] != 0;
+                         const bool rb = gateRequest[b] != 0;
+                         if (ra != rb)
+                             return ra;
+                         return ewma_[a] > ewma_[b];
+                     });
+
+    for (size_t s = 0; s < slots; ++s)
+        grant[order_[s]] = 1;
+    grants_ += slots;
+    denials_ += requesters - slots;
+}
+
+void
+ChipGovernor::registerStats(obs::Registry &r,
+                            const std::string &prefix) const
+{
+    r.derivedCounter(prefix + ".grants", "gate requests granted",
+                     [this] { return grants_; });
+    r.derivedCounter(prefix + ".denials", "gate requests denied",
+                     [this] { return denials_; });
+    r.derivedGauge(prefix + ".budget", "current gate budget [cores]",
+                   [this] { return static_cast<double>(budget_); });
+}
+
+} // namespace vguard::core

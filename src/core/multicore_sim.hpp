@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Many-core shared-PDN chip simulation (ROADMAP item 1).
+ *
+ * The paper models one core on one package; this module asks the next
+ * question: N cores drawing from a *shared* package rail, each core a
+ * captured open-loop current trace replayed with a per-core phase
+ * offset (one capture feeds every placement — trace_cache.hpp), with
+ * optional per-core ThresholdSensor bang-bang loops and a chip-level
+ * ChipGovernor arbitrating simultaneous throttles.
+ *
+ * Scale-out follows the lane-batched backend: each pdn::PdnBackend
+ * lane is one chip's rail, so K chip scenarios (core counts, phase
+ * alignments, governor settings) step in lockstep through one
+ * PdnBackend::stepPerLane / stepCycle stream, scalar remaining the
+ * bit-exact golden reference.
+ *
+ * Bit-identity contract:
+ *  - per-core currents are summed in core-index order from +0.0, so a
+ *    1-core chip feeds the rail exactly its trace (0.0 + a == a) and
+ *    the N=1 open-loop configuration reproduces single-core
+ *    VoltageSim::runReplay bookkeeping bit-identically;
+ *  - open-loop chips take the block path (stepPerLane), closed-loop
+ *    chips the per-cycle path (stepCycle); the two are bit-identical
+ *    by the pinned canonical summation order (test_backend_diff.cpp);
+ *  - reordering the chips vector permutes results bit-exactly (lanes
+ *    are arithmetically independent). Reordering *cores within* a
+ *    chip is not bit-invariant in general: it reassociates the FP
+ *    current sum.
+ *
+ * Replay actuation model: a gated core draws iGate, a phantom-fired
+ * core iPhantom — the same current-clamp abstraction the threshold
+ * solver uses (a replayed trace cannot re-time the core itself). A
+ * core with no trace (or an empty one) is *parked*: it draws iGate
+ * every cycle and never requests actuation.
+ */
+
+#ifndef VGUARD_CORE_MULTICORE_SIM_HPP
+#define VGUARD_CORE_MULTICORE_SIM_HPP
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/chip_governor.hpp"
+#include "core/sensor.hpp"
+#include "core/trace_cache.hpp"
+#include "pdn/pdn_backend.hpp"
+#include "util/stats.hpp"
+
+namespace vguard::core {
+
+/** One core's current source on a shared rail. */
+struct CoreSlot
+{
+    /** Captured open-loop trace; null/empty means a parked core. */
+    const CapturedTrace *trace = nullptr;
+    /** Replay phase offset [cycles] (trace index wraps modulo len). */
+    size_t phaseOffset = 0;
+    double iGate = 0.0;     ///< draw when gated (and when parked) [A]
+    double iPhantom = 0.0;  ///< draw when phantom firing [A]
+};
+
+/** One chip: a package rail plus its cores and control layers. */
+struct ChipSpec
+{
+    pdn::PackageParams package;
+    double iTrim = 0.0;    ///< regulator trim current [A]
+    double band = 0.05;    ///< emergency band (fraction of vNominal)
+    double histLo = 0.90;  ///< voltage histogram range
+    double histHi = 1.10;
+    size_t histBins = 80;
+    std::vector<CoreSlot> cores;
+    /**
+     * Per-core bang-bang sensing; open loop when unset. Each core gets
+     * its own sensor with a noise seed derived per core index, all
+     * observing the shared rail.
+     */
+    std::optional<SensorConfig> sensor;
+    /** Chip-level throttle arbitration; requires `sensor`. */
+    std::optional<ChipGovernorConfig> governor;
+};
+
+/** Per-core control bookkeeping of one run. */
+struct CoreStats
+{
+    uint64_t gatedCycles = 0;    ///< cycles spent current-clamped low
+    uint64_t phantomCycles = 0;  ///< cycles spent phantom firing
+    uint64_t gateRequests = 0;   ///< sensor-Low gate requests
+    uint64_t gateDenials = 0;    ///< requests the governor denied
+};
+
+/** Per-chip results of one run (PDN subset mirrors SweepLaneResult). */
+struct ChipResult
+{
+    uint64_t cycles = 0;
+    double minV = 0.0;
+    double maxV = 0.0;
+    uint64_t lowEmergencyCycles = 0;
+    uint64_t highEmergencyCycles = 0;
+    Histogram voltageHist{0.90, 1.10, 80};
+
+    std::vector<CoreStats> cores;
+    uint64_t gateGrants = 0;   ///< granted gate requests (all cores)
+    uint64_t gateDenials = 0;  ///< denied gate requests (all cores)
+    /**
+     * Jain fairness index over per-core gated cycles of the cores
+     * that can gate (non-parked): 1.0 = perfectly even throttling,
+     * 1/N = one core absorbs everything. 1.0 when nothing gated.
+     */
+    double gateFairness = 1.0;
+
+    uint64_t emergencyCycles() const
+    {
+        return lowEmergencyCycles + highEmergencyCycles;
+    }
+};
+
+/** K chips stepped in lockstep through one PdnBackend. */
+class MulticoreSim
+{
+  public:
+    explicit MulticoreSim(
+        std::vector<ChipSpec> chips,
+        pdn::BackendKind kind = pdn::BackendKind::Batched);
+
+    // Stats registration binds callbacks to member addresses.
+    MulticoreSim(const MulticoreSim &) = delete;
+    MulticoreSim &operator=(const MulticoreSim &) = delete;
+    ~MulticoreSim();
+
+    /**
+     * Advance every chip @p cycles cycles, streaming open-loop chips
+     * in blocks of @p blockCycles; rail and control state carry
+     * across calls. Returns this run's per-chip results.
+     */
+    std::vector<ChipResult> run(uint64_t cycles,
+                                size_t blockCycles = 256);
+
+    size_t chips() const { return chips_.size(); }
+    const ChipSpec &chip(size_t i) const { return chips_[i]; }
+
+    /**
+     * Bind the chip/core stats groups under `<prefix>.chip<i>.`:
+     * per-chip emergency and grant/denial counters, per-core gating
+     * counters, each core's sensor telemetry and the governor's
+     * budget (cumulative across run() calls).
+     */
+    void registerStats(obs::Registry &r,
+                       const std::string &prefix) const;
+
+  private:
+    struct ChipState;
+
+    /** Core i's draw this cycle given its actuation state. */
+    double coreCurrent(const ChipSpec &chip, ChipState &st, size_t core,
+                       uint64_t cycle) const;
+    void accountCycle(size_t chipIdx, double v,
+                      std::vector<ChipResult> &results);
+    void controlCycle(size_t chipIdx, double v,
+                      std::vector<ChipResult> &results);
+
+    std::vector<ChipSpec> chips_;
+    std::unique_ptr<pdn::PdnBackend> backend_;
+    std::vector<std::unique_ptr<ChipState>> states_;
+    bool anyClosedLoop_ = false;
+    uint64_t cycle_ = 0;  ///< absolute cycle (phase offsets add to it)
+};
+
+/**
+ * Convenience wrapper: build a MulticoreSim over @p chips and run it
+ * once for @p cycles.
+ */
+std::vector<ChipResult>
+runChips(const std::vector<ChipSpec> &chips, uint64_t cycles,
+         pdn::BackendKind kind = pdn::BackendKind::Batched,
+         size_t blockCycles = 256);
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_MULTICORE_SIM_HPP

@@ -1,6 +1,7 @@
 #include "core/replay_sweep.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "util/logging.hpp"
 
@@ -13,6 +14,18 @@ replaySweep(const double *amps, size_t n,
 {
     VGUARD_CHECK(!lanes.empty());
     VGUARD_CHECK(blockCycles > 0);
+    for (const SweepLane &lane : lanes) {
+        // A negative band inverts the emergency window (vLo > vHi:
+        // every cycle counts as an emergency); a non-finite trim or an
+        // empty histogram range would reach the solver/Histogram math
+        // unchecked. Reject all of them at the entry point.
+        VGUARD_CHECK(std::isfinite(lane.band) && lane.band >= 0.0);
+        VGUARD_CHECK(std::isfinite(lane.iTrim));
+        VGUARD_CHECK(std::isfinite(lane.histLo) &&
+                     std::isfinite(lane.histHi) &&
+                     lane.histLo < lane.histHi);
+        VGUARD_CHECK(lane.histBins >= 1);
+    }
 
     const size_t k = lanes.size();
     std::vector<pdn::LaneConfig> cfgs;

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "util/logging.hpp"
+
 namespace vguard::core {
 
 namespace {
@@ -56,9 +58,11 @@ envSizeMb(const char *name, size_t fallbackMb)
     const char *env = std::getenv(name);
     if (!env || !*env)
         return fallbackMb;
-    char *end = nullptr;
-    const unsigned long long mb = std::strtoull(env, &end, 10);
-    return end != env ? static_cast<size_t>(mb) : fallbackMb;
+    size_t mb = fallbackMb;
+    if (!parseTraceCacheMb(env, mb))
+        warn("%s: unrecognized value '%s'; using default %zu MB", name,
+             env, fallbackMb);
+    return mb;
 }
 
 bool
@@ -69,11 +73,47 @@ envEnabled(const char *name)
     const char *env = std::getenv(name);
     if (!env)
         return true;
-    const std::string v(env);
-    return !(v == "0" || v == "off" || v == "false");
+    bool on = true;
+    if (!parseTraceCacheEnabled(env, on))
+        warn("%s: unrecognized value '%s'; cache stays enabled", name,
+             env);
+    return on;
 }
 
 } // namespace
+
+bool
+parseTraceCacheMb(const std::string &text, size_t &mb)
+{
+    // Unsigned decimal digits only: strtoull would coerce "-5" (wraps
+    // to a huge budget) and "10abc" (trailing text dropped), both of
+    // which this parser exists to reject. Seven digits (~10 TB) bound
+    // the budget so the MB→byte conversion can never overflow.
+    if (text.empty() || text.size() > 7)
+        return false;
+    uint64_t v = 0;
+    for (const char c : text) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    mb = static_cast<size_t>(v);
+    return true;
+}
+
+bool
+parseTraceCacheEnabled(const std::string &text, bool &on)
+{
+    if (text == "1" || text == "on" || text == "true") {
+        on = true;
+        return true;
+    }
+    if (text == "0" || text == "off" || text == "false") {
+        on = false;
+        return true;
+    }
+    return false;
+}
 
 size_t
 CapturedTrace::bytes() const

@@ -103,6 +103,23 @@ std::string traceKey(const isa::Program &program,
 /** The cpu.* / power.* subset of a run's stats snapshot. */
 obs::Snapshot frontEndSubset(const obs::Snapshot &stats);
 
+/**
+ * Strict parse of a VGUARD_TRACE_CACHE_MB value: unsigned decimal
+ * digits only, no sign, no trailing text, and the result must fit
+ * size_t. Returns false (leaving @p mb untouched) on anything else —
+ * "-5" or "10abc" are rejected, never coerced. Exposed so tests can
+ * exercise the parser directly: the singleton reads the environment
+ * exactly once, at first use.
+ */
+bool parseTraceCacheMb(const std::string &text, size_t &mb);
+
+/**
+ * Strict parse of a VGUARD_TRACE_CACHE toggle: "1"/"on"/"true" enable,
+ * "0"/"off"/"false" disable. Returns false (leaving @p on untouched)
+ * for any other value instead of silently treating it as enabled.
+ */
+bool parseTraceCacheEnabled(const std::string &text, bool &on);
+
 /** Process-wide cache of captured open-loop traces. */
 class TraceCache
 {

@@ -1,5 +1,7 @@
 #include "pdn/pdn_backend.hpp"
 
+#include <cmath>
+
 #include "pdn/pdn_sim.hpp"
 #include "util/logging.hpp"
 #include "util/simd.hpp"
@@ -10,6 +12,31 @@ namespace {
 
 /** MatN caps runtime dimension at 8; kernels size stack arrays to it. */
 constexpr unsigned kMaxStates = 8;
+
+/**
+ * Entry-point validation shared by both factories. A non-finite trim
+ * current propagates NaN through the DC trim solve; non-positive
+ * reactances make the package design singular. Either way the lane
+ * produces garbage voltages that the downstream bookkeeping would
+ * count as (or hide) emergencies, so reject at construction.
+ */
+void
+validateLanes(const std::vector<LaneConfig> &lanes)
+{
+    VGUARD_CHECK(!lanes.empty());
+    for (const LaneConfig &lc : lanes) {
+        VGUARD_CHECK(std::isfinite(lc.iTrim));
+        const PackageParams &p = lc.package;
+        VGUARD_CHECK(std::isfinite(p.lPkg) && p.lPkg > 0.0);
+        VGUARD_CHECK(std::isfinite(p.cDie) && p.cDie > 0.0);
+        VGUARD_CHECK(std::isfinite(p.cBulk) && p.cBulk > 0.0);
+        VGUARD_CHECK(std::isfinite(p.vNominal) && p.vNominal > 0.0);
+        VGUARD_CHECK(std::isfinite(p.clockHz) && p.clockHz > 0.0);
+        VGUARD_CHECK(std::isfinite(p.rVrm) && p.rVrm >= 0.0);
+        VGUARD_CHECK(std::isfinite(p.rPkg) && p.rPkg >= 0.0);
+        VGUARD_CHECK(std::isfinite(p.rEsr) && p.rEsr >= 0.0);
+    }
+}
 
 // ------------------------------------------------------------- scalar
 
@@ -65,9 +92,30 @@ class ScalarPdnBackend final : public PdnBackend
             voltsPerLane[lane] = sims_[lane].step(ampsPerLane[lane]);
     }
 
+    void stepPerLane(const double *amps, size_t n,
+                     double *volts) override
+    {
+        const size_t k = sims_.size();
+        if (rowBuf_.size() < n)
+            rowBuf_.resize(n);
+        if (colBuf_.size() < n)
+            colBuf_.resize(n);
+        // Gather each lane's current column so the whole block still
+        // goes through PdnSim::stepMany — the exact arithmetic the
+        // single-rail replay uses.
+        for (size_t lane = 0; lane < k; ++lane) {
+            for (size_t cyc = 0; cyc < n; ++cyc)
+                colBuf_[cyc] = amps[cyc * k + lane];
+            sims_[lane].stepMany(colBuf_.data(), n, rowBuf_.data());
+            for (size_t cyc = 0; cyc < n; ++cyc)
+                volts[cyc * k + lane] = rowBuf_[cyc];
+        }
+    }
+
   private:
     std::vector<PdnSim> sims_;
     std::vector<double> rowBuf_;  ///< one lane's voltage row
+    std::vector<double> colBuf_;  ///< one lane's current column
 };
 
 // ------------------------------------------------------------ batched
@@ -151,6 +199,29 @@ class BatchedPdnBackend final : public PdnBackend
             cycleKernel<0>();
         for (size_t lane = 0; lane < k_; ++lane)
             voltsPerLane[lane] = voltsPad_[lane];
+    }
+
+    void stepPerLane(const double *amps, size_t n,
+                     double *volts) override
+    {
+        // Repack the K-wide cycle-major input into the stride-padded
+        // layout the packs load from; padding lanes clone the last
+        // real lane's draw (as in stepCycle) so they keep computing
+        // real, discarded values.
+        if (ampsBlk_.size() < n * stride_)
+            ampsBlk_.resize(n * stride_);
+        for (size_t cyc = 0; cyc < n; ++cyc) {
+            double *dst = ampsBlk_.data() + cyc * stride_;
+            const double *src = amps + cyc * k_;
+            for (size_t lane = 0; lane < k_; ++lane)
+                dst[lane] = src[lane];
+            for (size_t lane = k_; lane < stride_; ++lane)
+                dst[lane] = src[k_ - 1];
+        }
+        if (ns_ == 3)
+            perLaneKernel<3>(n, volts);
+        else
+            perLaneKernel<0>(n, volts);
     }
 
   private:
@@ -263,6 +334,74 @@ class BatchedPdnBackend final : public PdnBackend
         }
     }
 
+    /**
+     * Per-lane-trace block kernel: identical to sharedKernel — same
+     * loop structure, same term order, so the bit-identity argument
+     * carries over unchanged — except u1 is a per-lane pack load from
+     * the repacked ampsBlk_ instead of a broadcast.
+     */
+    template <unsigned NS_HINT>
+    void perLaneKernel(size_t n, double *volts)
+    {
+        using simd::DoublePack;
+        const unsigned ns = NS_HINT ? NS_HINT : ns_;
+        for (size_t base = 0; base < stride_; base += simd::kPackWidth) {
+            DoublePack A[kMaxStates * kMaxStates];
+            DoublePack B0[kMaxStates], B1[kMaxStates], C[kMaxStates];
+            DoublePack x[kMaxStates], nx[kMaxStates];
+            for (unsigned i = 0; i < ns; ++i) {
+                C[i] = DoublePack::load(&c_[size_t{i} * stride_ + base]);
+                B0[i] = DoublePack::load(&bd0_[size_t{i} * stride_ + base]);
+                B1[i] = DoublePack::load(&bd1_[size_t{i} * stride_ + base]);
+                for (unsigned j = 0; j < ns; ++j)
+                    A[i * ns + j] = DoublePack::load(
+                        &ad_[(size_t{i} * ns + j) * stride_ + base]);
+                x[i] = DoublePack::load(&x_[size_t{i} * stride_ + base]);
+            }
+            const DoublePack d0 = DoublePack::load(&d0_[base]);
+            const DoublePack d1 = DoublePack::load(&d1_[base]);
+            const DoublePack u0 = DoublePack::load(&vdd_[base]);
+
+            const bool full = base + simd::kPackWidth <= k_;
+            const size_t live = full ? simd::kPackWidth : k_ - base;
+            double tail[simd::kPackWidth];
+
+            for (size_t cyc = 0; cyc < n; ++cyc) {
+                const DoublePack u1 =
+                    DoublePack::load(&ampsBlk_[cyc * stride_ + base]);
+
+                DoublePack out = DoublePack::zero();
+                for (unsigned i = 0; i < ns; ++i)
+                    out = out + C[i] * x[i];
+                out = out + d0 * u0;
+                out = out + d1 * u1;
+
+                double *dst = volts + cyc * k_ + base;
+                if (full) {
+                    out.store(dst);
+                } else {
+                    out.store(tail);
+                    for (size_t l = 0; l < live; ++l)
+                        dst[l] = tail[l];
+                }
+
+                for (unsigned i = 0; i < ns; ++i) {
+                    DoublePack acc = DoublePack::zero();
+                    for (unsigned j = 0; j < ns; ++j)
+                        acc = acc + A[i * ns + j] * x[j];
+                    acc = acc + B0[i] * u0;
+                    acc = acc + B1[i] * u1;
+                    nx[i] = acc;
+                }
+                for (unsigned i = 0; i < ns; ++i)
+                    x[i] = nx[i];
+            }
+
+            for (unsigned i = 0; i < ns; ++i)
+                x[i].store(&x_[size_t{i} * stride_ + base]);
+        }
+    }
+
     /** One cycle with per-lane currents from ampsPad_ into voltsPad_. */
     template <unsigned NS_HINT>
     void cycleKernel()
@@ -322,6 +461,7 @@ class BatchedPdnBackend final : public PdnBackend
 
     std::vector<double> ampsPad_;   ///< stepCycle input scratch
     std::vector<double> voltsPad_;  ///< stepCycle output scratch
+    std::vector<double> ampsBlk_;   ///< stepPerLane repack scratch
 };
 
 } // namespace
@@ -329,12 +469,14 @@ class BatchedPdnBackend final : public PdnBackend
 std::unique_ptr<PdnBackend>
 makeScalarBackend(const std::vector<LaneConfig> &lanes)
 {
+    validateLanes(lanes);
     return std::make_unique<ScalarPdnBackend>(lanes);
 }
 
 std::unique_ptr<PdnBackend>
 makeBatchedBackend(const std::vector<LaneConfig> &lanes)
 {
+    validateLanes(lanes);
     return std::make_unique<BatchedPdnBackend>(lanes);
 }
 

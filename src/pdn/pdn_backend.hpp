@@ -83,9 +83,29 @@ class PdnBackend
      */
     virtual void stepCycle(const double *ampsPerLane,
                            double *voltsPerLane) = 0;
+
+    /**
+     * Advance @p n cycles with a distinct current trace per lane (the
+     * shared-rail multicore case: every lane is one chip's rail, fed
+     * by that chip's summed per-core draw). Both @p amps and @p volts
+     * are cycle-major: amps[k * lanes() + lane] is lane `lane`'s draw
+     * on cycle k. Like stepShared, callable repeatedly in blocks with
+     * lane state carrying across calls; bit-identical to n successive
+     * stepCycle calls over the same currents.
+     */
+    virtual void stepPerLane(const double *amps, size_t n,
+                             double *volts) = 0;
 };
 
-/** Golden reference: one PdnSim per lane. */
+/**
+ * Golden reference: one PdnSim per lane.
+ *
+ * Both factories validate every lane up front (VGUARD_CHECK): a
+ * finite trim current and positive finite package reactances,
+ * nominal voltage and clock. A degenerate lane would otherwise feed
+ * NaNs or a singular design into the trim solve and poison every
+ * lane-batched artifact downstream.
+ */
 std::unique_ptr<PdnBackend>
 makeScalarBackend(const std::vector<LaneConfig> &lanes);
 

@@ -20,6 +20,7 @@
 
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -351,6 +352,182 @@ TEST(BackendDiff, ReplaySweepMatchesRunReplay)
                   sweptScalar[i].lowEmergencyCycles);
         EXPECT_EQ(swept[i].highEmergencyCycles,
                   sweptScalar[i].highEmergencyCycles);
+    }
+}
+
+// ------------------------------------------------ per-lane traces
+
+namespace {
+
+/** Run per-lane traces through stepPerLane in blocks of
+    @p blockCycles; @p traces is cycle-major like the kernel input. */
+std::vector<double>
+runPerLane(BackendKind kind, const std::vector<LaneConfig> &lanes,
+           const std::vector<double> &traces, size_t blockCycles)
+{
+    const auto backend = pdn::makeBackend(kind, lanes);
+    const size_t k = backend->lanes();
+    const size_t cycles = traces.size() / k;
+    std::vector<double> volts(traces.size());
+    size_t done = 0;
+    while (done < cycles) {
+        const size_t chunk = std::min(blockCycles, cycles - done);
+        backend->stepPerLane(traces.data() + done * k, chunk,
+                             volts.data() + done * k);
+        done += chunk;
+    }
+    return volts;
+}
+
+/** Cycle-major per-lane traces, one distinct noisy trace per lane. */
+std::vector<double>
+perLaneTraces(size_t cycles, size_t k)
+{
+    std::vector<std::vector<double>> rows;
+    for (size_t lane = 0; lane < k; ++lane)
+        rows.push_back(
+            noisyTrace(cycles, 40 + 8 * static_cast<unsigned>(lane),
+                       0xfadedull + lane));
+    std::vector<double> out(cycles * k);
+    for (size_t cyc = 0; cyc < cycles; ++cyc)
+        for (size_t lane = 0; lane < k; ++lane)
+            out[cyc * k + lane] = rows[lane][cyc];
+    return out;
+}
+
+} // namespace
+
+TEST(BackendDiff, PerLaneTracesBitExactAcrossLaneCountsAndBlocks)
+{
+    for (const size_t k : {1u, 2u, 3u, 4u, 5u, 7u, 8u}) {
+        const auto lanes = lanesFor(k);
+        const auto traces = perLaneTraces(6000, k);
+        const size_t cycles = traces.size() / k;
+
+        // Golden: raw PdnSim::stepMany per lane in one unblocked pass.
+        std::vector<double> golden(traces.size());
+        std::vector<double> col(cycles), row(cycles);
+        for (size_t lane = 0; lane < k; ++lane) {
+            PdnSim sim(PackageModel(lanes[lane].package));
+            sim.trimToCurrent(lanes[lane].iTrim);
+            for (size_t cyc = 0; cyc < cycles; ++cyc)
+                col[cyc] = traces[cyc * k + lane];
+            sim.stepMany(col.data(), cycles, row.data());
+            for (size_t cyc = 0; cyc < cycles; ++cyc)
+                golden[cyc * k + lane] = row[cyc];
+        }
+
+        for (const size_t blk : {1u, 3u, 17u, 256u, 4096u}) {
+            expectBitIdentical(
+                golden, runPerLane(BackendKind::Scalar, lanes, traces, blk),
+                k, "scalar k=" + std::to_string(k) + " blk=" +
+                       std::to_string(blk));
+            expectBitIdentical(
+                golden,
+                runPerLane(BackendKind::Batched, lanes, traces, blk), k,
+                "batched k=" + std::to_string(k) + " blk=" +
+                    std::to_string(blk));
+        }
+    }
+}
+
+TEST(BackendDiff, PerLaneStepMatchesPerCycleStream)
+{
+    // Contract: stepPerLane(n) is bit-identical to n stepCycle calls,
+    // including when the two interleave on one backend instance.
+    const size_t k = 5;
+    const auto lanes = lanesFor(k);
+    const auto traces = perLaneTraces(3000, k);
+    const size_t cycles = traces.size() / k;
+
+    for (const BackendKind kind :
+         {BackendKind::Scalar, BackendKind::Batched}) {
+        const auto blocked = pdn::makeBackend(kind, lanes);
+        const auto cyclic = pdn::makeBackend(kind, lanes);
+        std::vector<double> vBlk(traces.size()), vCyc(traces.size());
+
+        size_t done = 0;
+        Rng rng(0x5eed);
+        while (done < cycles) {
+            const size_t chunk = std::min<size_t>(
+                1 + static_cast<size_t>(rng.below(200)),
+                cycles - done);
+            blocked->stepPerLane(traces.data() + done * k, chunk,
+                                 vBlk.data() + done * k);
+            for (size_t cyc = 0; cyc < chunk; ++cyc)
+                cyclic->stepCycle(traces.data() + (done + cyc) * k,
+                                  vCyc.data() + (done + cyc) * k);
+            done += chunk;
+        }
+        expectBitIdentical(vBlk, vCyc, k,
+                           kind == BackendKind::Scalar ? "scalar"
+                                                       : "batched");
+    }
+}
+
+// ---------------------------------------------- entry-point checks
+
+/**
+ * Regression tests for the sweep/backend validation bugfix: these
+ * configurations used to sail straight into the math (a negative band
+ * inverts the emergency window; non-finite trim poisons every lane)
+ * and now must die in VGUARD_CHECK at the entry point.
+ */
+TEST(BackendDiffDeathTest, ReplaySweepRejectsNegativeBand)
+{
+    const std::vector<double> amps{10.0, 20.0, 30.0};
+    std::vector<SweepLane> lanes{
+        {PackageModel::design(50e6, 2e-3).params(), 5.0}};
+    lanes[0].band = -0.05;
+    EXPECT_DEATH(replaySweep(amps.data(), amps.size(), lanes,
+                             BackendKind::Batched),
+                 "check failed");
+}
+
+TEST(BackendDiffDeathTest, ReplaySweepRejectsNonFiniteTrim)
+{
+    const std::vector<double> amps{10.0, 20.0, 30.0};
+    std::vector<SweepLane> lanes{
+        {PackageModel::design(50e6, 2e-3).params(),
+         std::numeric_limits<double>::quiet_NaN()}};
+    EXPECT_DEATH(replaySweep(amps.data(), amps.size(), lanes,
+                             BackendKind::Scalar),
+                 "check failed");
+}
+
+TEST(BackendDiffDeathTest, ReplaySweepRejectsInvertedHistogramRange)
+{
+    const std::vector<double> amps{10.0, 20.0, 30.0};
+    std::vector<SweepLane> lanes{
+        {PackageModel::design(50e6, 2e-3).params(), 5.0}};
+    lanes[0].histLo = 1.10;
+    lanes[0].histHi = 0.90;
+    EXPECT_DEATH(replaySweep(amps.data(), amps.size(), lanes,
+                             BackendKind::Batched),
+                 "check failed");
+}
+
+TEST(BackendDiffDeathTest, BackendFactoriesRejectDegeneratePackages)
+{
+    for (const BackendKind kind :
+         {BackendKind::Scalar, BackendKind::Batched}) {
+        {
+            std::vector<LaneConfig> lanes = lanesFor(2);
+            lanes[1].iTrim = std::numeric_limits<double>::infinity();
+            EXPECT_DEATH(pdn::makeBackend(kind, lanes), "check failed");
+        }
+        {
+            std::vector<LaneConfig> lanes = lanesFor(2);
+            lanes[0].package.vNominal = 0.0;
+            EXPECT_DEATH(pdn::makeBackend(kind, lanes), "check failed");
+        }
+        {
+            std::vector<LaneConfig> lanes = lanesFor(3);
+            lanes[2].package.lPkg =
+                std::numeric_limits<double>::quiet_NaN();
+            EXPECT_DEATH(pdn::makeBackend(kind, lanes), "check failed");
+        }
+        EXPECT_DEATH(pdn::makeBackend(kind, {}), "check failed");
     }
 }
 

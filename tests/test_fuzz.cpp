@@ -261,6 +261,70 @@ TEST_P(BackendFuzz, RandomTracesAndBlockBoundariesNeverDiverge)
     }
 }
 
+TEST_P(BackendFuzz, PerLaneTracesAndBlockBoundariesNeverDiverge)
+{
+    Rng rng(GetParam() * 0x9e3779b97f4a7c15ull + 11);
+
+    const size_t k = 1 + rng.below(9);
+    std::vector<pdn::LaneConfig> lanes;
+    for (size_t i = 0; i < k; ++i)
+        lanes.push_back({pdn::PackageModel::design(
+                             rng.uniform(30e6, 150e6),
+                             rng.uniform(0.8e-3, 4e-3))
+                             .params(),
+                         rng.uniform(0.0, 30.0)});
+
+    // Cycle-major per-lane traces: every lane gets its own stream.
+    const size_t cycles = 1 + rng.below(5000);
+    std::vector<double> amps(cycles * k);
+    for (double &a : amps)
+        a = rng.uniform(0.0, 60.0);
+
+    // Scalar reference: per-cycle stepping (the simplest entry point).
+    const auto scalar = pdn::makeScalarBackend(lanes);
+    std::vector<double> ref(amps.size());
+    for (size_t cyc = 0; cyc < cycles; ++cyc)
+        scalar->stepCycle(amps.data() + cyc * k, ref.data() + cyc * k);
+
+    // Batched stepPerLane fed in randomly-sized chunks (state must
+    // carry across calls exactly).
+    const auto batched = pdn::makeBatchedBackend(lanes);
+    std::vector<double> got(amps.size());
+    size_t done = 0;
+    while (done < cycles) {
+        const size_t chunk =
+            std::min<size_t>(1 + rng.below(300), cycles - done);
+        batched->stepPerLane(amps.data() + done * k, chunk,
+                             got.data() + done * k);
+        done += chunk;
+    }
+
+    for (size_t i = 0; i < ref.size(); ++i)
+        ASSERT_EQ(ref[i], got[i])
+            << "cycle " << i / k << " lane " << i % k;
+
+    // Interleave the three entry points on both backends, continuing
+    // from the streamed state — they all must compose.
+    std::vector<double> cur(k), vs(k), vb(k);
+    for (size_t round = 0; round < 16; ++round) {
+        for (size_t lane = 0; lane < k; ++lane)
+            cur[lane] = rng.uniform(0.0, 60.0);
+        scalar->stepCycle(cur.data(), vs.data());
+        batched->stepPerLane(cur.data(), 1, vb.data());
+        for (size_t lane = 0; lane < k; ++lane)
+            ASSERT_EQ(vs[lane], vb[lane])
+                << "post-stream round " << round << " lane " << lane;
+
+        const double shared = rng.uniform(0.0, 60.0);
+        scalar->stepShared(&shared, 1, vs.data());
+        batched->stepShared(&shared, 1, vb.data());
+        for (size_t lane = 0; lane < k; ++lane)
+            ASSERT_EQ(vs[lane], vb[lane])
+                << "post-stream shared round " << round << " lane "
+                << lane;
+    }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, BackendFuzz,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34,
                                            55, 89));

@@ -1,0 +1,456 @@
+/**
+ * @file
+ * Many-core shared-PDN simulation suite (ctest label `multicore`).
+ *
+ * The contracts under test mirror the backend differential harness:
+ *
+ *  - a 1-core open-loop chip reproduces single-core
+ *    VoltageSim::runReplay bookkeeping bit-identically (the N=1
+ *    acceptance bar);
+ *  - the batched shared-rail backend matches the scalar golden
+ *    reference exactly across core counts {1..8, 16};
+ *  - chip order is bookkeeping, not arithmetic (permutation
+ *    invariance at chip granularity);
+ *  - zero-length traces park a core at its gate current;
+ *  - a grant-everything governor is bit-identical to no governor, a
+ *    restrictive one actually denies and stays deterministic;
+ *  - a checked-in mini chip sweep golden (regenerable with
+ *    VGUARD_UPDATE_GOLDEN=1) pins the whole pipeline's bytes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "core/multicore_sim.hpp"
+#include "core/voltage_sim.hpp"
+#include "linsys/worst_case.hpp"
+#include "pdn/package_model.hpp"
+#include "power/wattch.hpp"
+#include "util/jsonl.hpp"
+#include "util/rng.hpp"
+#include "workloads/kernels.hpp"
+
+using namespace vguard;
+using namespace vguard::core;
+using pdn::BackendKind;
+using pdn::PackageModel;
+
+namespace {
+
+/** Resonant square wave + seeded noise (test_backend_diff idiom). */
+CapturedTrace
+noisyTrace(size_t len, unsigned periodCycles, uint64_t seed)
+{
+    CapturedTrace t;
+    t.amps =
+        linsys::resonantSquareWave(len, periodCycles / 2, 5.0, 45.0);
+    Rng rng(seed);
+    for (double &a : t.amps)
+        a += rng.uniform(-2.0, 2.0);
+    return t;
+}
+
+/**
+ * An N-core chip over one shared trace: package impedance scaled by
+ * 1/N and trim scaled by N so the chip stays electrically comparable
+ * across core counts; offsets spread per @p stagger cycles.
+ */
+ChipSpec
+chipOf(const CapturedTrace &trace, size_t nCores, size_t stagger,
+       double zPeak = 2e-3)
+{
+    ChipSpec chip;
+    // Impedance AND resistance scale 1/N (an N-core package has N×
+    // the pads), keeping droop depth comparable across core counts.
+    const double s = 1.0 / static_cast<double>(nCores);
+    chip.package = PackageModel::design(50e6, zPeak * s, 0.5e-3 * s,
+                                        0.25e-3 * s)
+                       .params();
+    chip.iTrim = 5.0 * static_cast<double>(nCores);
+    for (size_t i = 0; i < nCores; ++i)
+        chip.cores.push_back({&trace, i * stagger, 2.0, 55.0});
+    return chip;
+}
+
+/** Field-for-field exact equality of two chip results. */
+void
+expectChipsEqual(const ChipResult &a, const ChipResult &b,
+                 const std::string &what)
+{
+    EXPECT_EQ(a.cycles, b.cycles) << what;
+    EXPECT_EQ(a.minV, b.minV) << what;
+    EXPECT_EQ(a.maxV, b.maxV) << what;
+    EXPECT_EQ(a.lowEmergencyCycles, b.lowEmergencyCycles) << what;
+    EXPECT_EQ(a.highEmergencyCycles, b.highEmergencyCycles) << what;
+    EXPECT_EQ(a.gateGrants, b.gateGrants) << what;
+    EXPECT_EQ(a.gateDenials, b.gateDenials) << what;
+    EXPECT_EQ(a.gateFairness, b.gateFairness) << what;
+    ASSERT_EQ(a.voltageHist.bins(), b.voltageHist.bins()) << what;
+    for (size_t i = 0; i < a.voltageHist.bins(); ++i)
+        ASSERT_EQ(a.voltageHist.count(i), b.voltageHist.count(i))
+            << what << " bin " << i;
+    EXPECT_EQ(a.voltageHist.underflow(), b.voltageHist.underflow())
+        << what;
+    EXPECT_EQ(a.voltageHist.overflow(), b.voltageHist.overflow())
+        << what;
+    ASSERT_EQ(a.cores.size(), b.cores.size()) << what;
+    for (size_t i = 0; i < a.cores.size(); ++i) {
+        EXPECT_EQ(a.cores[i].gatedCycles, b.cores[i].gatedCycles)
+            << what << " core " << i;
+        EXPECT_EQ(a.cores[i].phantomCycles, b.cores[i].phantomCycles)
+            << what << " core " << i;
+        EXPECT_EQ(a.cores[i].gateRequests, b.cores[i].gateRequests)
+            << what << " core " << i;
+        EXPECT_EQ(a.cores[i].gateDenials, b.cores[i].gateDenials)
+            << what << " core " << i;
+    }
+}
+
+/** Closed-loop sensor tuned to the synthetic traces' droop depth. */
+SensorConfig
+testSensor()
+{
+    SensorConfig sc;
+    sc.vLow = 0.96;
+    sc.vHigh = 1.04;
+    sc.delayCycles = 1;
+    return sc;
+}
+
+} // namespace
+
+// --------------------------------------------------- N = 1 identity
+
+TEST(Multicore, SingleCoreChipMatchesRunReplayBitIdentically)
+{
+    const auto program = workloads::phasedKernel(400);
+    RunSpec spec;
+    spec.controllerEnabled = false;
+    spec.maxCycles = 20000;
+
+    const VoltageSimConfig cfg = makeSimConfig(spec);
+    CapturedTrace trace;
+    {
+        VoltageSim sim(cfg, program);
+        sim.run(spec.maxCycles, spec.maxInsts, &trace);
+    }
+
+    VoltageSim ref(cfg, program);
+    const VoltageSimResult golden = ref.runReplay(trace);
+
+    ChipSpec chip;
+    chip.package = cfg.package;
+    chip.iTrim =
+        power::WattchModel(cfg.power, cfg.cpu).minCurrent();
+    chip.band = cfg.band;
+    chip.histLo = cfg.histLo;
+    chip.histHi = cfg.histHi;
+    chip.histBins = cfg.histBins;
+    chip.cores.push_back({&trace, 0, 0.0, 0.0});
+
+    for (const BackendKind kind :
+         {BackendKind::Scalar, BackendKind::Batched}) {
+        const auto res =
+            runChips({chip}, trace.amps.size(), kind);
+        ASSERT_EQ(res.size(), 1u);
+        const ChipResult &r = res[0];
+        EXPECT_EQ(golden.cycles, r.cycles);
+        EXPECT_EQ(golden.minV, r.minV);
+        EXPECT_EQ(golden.maxV, r.maxV);
+        EXPECT_EQ(golden.lowEmergencyCycles, r.lowEmergencyCycles);
+        EXPECT_EQ(golden.highEmergencyCycles, r.highEmergencyCycles);
+        ASSERT_EQ(golden.voltageHist.bins(), r.voltageHist.bins());
+        // memcmp over the raw bin counts: the acceptance bar is
+        // byte-equality, not closeness.
+        std::vector<uint64_t> gBins(golden.voltageHist.bins()),
+            rBins(r.voltageHist.bins());
+        for (size_t b = 0; b < gBins.size(); ++b) {
+            gBins[b] = golden.voltageHist.count(b);
+            rBins[b] = r.voltageHist.count(b);
+        }
+        EXPECT_EQ(std::memcmp(gBins.data(), rBins.data(),
+                              gBins.size() * sizeof(uint64_t)),
+                  0)
+            << "histogram bytes diverge";
+    }
+}
+
+// ------------------------------------- scalar vs batched shared rail
+
+TEST(Multicore, BatchedMatchesScalarAcrossCoreCounts)
+{
+    const CapturedTrace trace = noisyTrace(6000, 60, 0xc0de);
+    for (const size_t n : {1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u, 16u}) {
+        // Three chips per run so lane packing sees a partial pack too.
+        std::vector<ChipSpec> chips;
+        chips.push_back(chipOf(trace, n, 17));
+        chips.push_back(chipOf(trace, n, 0));
+        chips.push_back(chipOf(trace, std::max<size_t>(n / 2, 1), 31,
+                               3e-3));
+        const auto scalar =
+            runChips(chips, 4000, BackendKind::Scalar);
+        const auto batched =
+            runChips(chips, 4000, BackendKind::Batched);
+        ASSERT_EQ(scalar.size(), batched.size());
+        for (size_t c = 0; c < scalar.size(); ++c)
+            expectChipsEqual(scalar[c], batched[c],
+                             "N=" + std::to_string(n) + " chip " +
+                                 std::to_string(c));
+    }
+}
+
+TEST(Multicore, ClosedLoopBatchedMatchesScalar)
+{
+    const CapturedTrace trace = noisyTrace(4000, 60, 0xfeed);
+    for (const size_t n : {1u, 2u, 4u, 8u}) {
+        std::vector<ChipSpec> chips;
+        chips.push_back(chipOf(trace, n, 13));
+        chips.back().sensor = testSensor();
+        chips.push_back(chipOf(trace, n, 0));
+        chips.back().sensor = testSensor();
+        chips.back().governor = ChipGovernorConfig{};
+        const auto scalar =
+            runChips(chips, 3000, BackendKind::Scalar);
+        const auto batched =
+            runChips(chips, 3000, BackendKind::Batched);
+        for (size_t c = 0; c < scalar.size(); ++c)
+            expectChipsEqual(scalar[c], batched[c],
+                             "closed N=" + std::to_string(n) +
+                                 " chip " + std::to_string(c));
+    }
+}
+
+// -------------------------------------------- structural invariants
+
+TEST(Multicore, ChipPermutationInvariance)
+{
+    const CapturedTrace trace = noisyTrace(3000, 60, 0xabba);
+    std::vector<ChipSpec> chips;
+    chips.push_back(chipOf(trace, 1, 0));
+    chips.push_back(chipOf(trace, 2, 30));
+    chips.push_back(chipOf(trace, 4, 15));
+    chips.push_back(chipOf(trace, 3, 7, 3e-3));
+    chips.push_back(chipOf(trace, 8, 8));
+
+    const auto base = runChips(chips, 2500, BackendKind::Batched);
+
+    std::vector<size_t> perm{3, 0, 4, 2, 1};
+    std::vector<ChipSpec> shuffled;
+    for (const size_t p : perm)
+        shuffled.push_back(chips[p]);
+    const auto got = runChips(shuffled, 2500, BackendKind::Batched);
+
+    for (size_t i = 0; i < perm.size(); ++i)
+        expectChipsEqual(got[i], base[perm[i]],
+                         "perm slot " + std::to_string(i));
+}
+
+TEST(Multicore, ZeroLengthTraceParksCoreAtGateCurrent)
+{
+    const CapturedTrace trace = noisyTrace(2000, 60, 0x9a9a);
+    const CapturedTrace empty;  // no amps: a parked core
+    // A parked core and a core replaying a constant-iGate trace are
+    // the same current source, so the two chips must agree exactly.
+    CapturedTrace constant;
+    constant.amps.assign(500, 2.0);
+
+    ChipSpec parked = chipOf(trace, 2, 20);
+    parked.cores.push_back({&empty, 0, 2.0, 55.0});
+    ChipSpec replayed = chipOf(trace, 2, 20);
+    replayed.cores.push_back({&constant, 0, 2.0, 55.0});
+
+    const auto a = runChips({parked}, 1500, BackendKind::Batched);
+    const auto b = runChips({replayed}, 1500, BackendKind::Batched);
+    expectChipsEqual(a[0], b[0], "parked vs constant trace");
+
+    // Closed loop: the parked core never requests actuation.
+    ChipSpec closed = parked;
+    closed.sensor = testSensor();
+    const auto c = runChips({closed}, 1500, BackendKind::Batched);
+    EXPECT_EQ(c[0].cores[2].gateRequests, 0u);
+    EXPECT_EQ(c[0].cores[2].gatedCycles, 0u);
+    EXPECT_EQ(c[0].cores[2].phantomCycles, 0u);
+}
+
+// ------------------------------------------------------ governor
+
+TEST(Multicore, GrantAllGovernorMatchesNoGovernorBitIdentically)
+{
+    const CapturedTrace trace = noisyTrace(4000, 60, 0xbead);
+    ChipSpec plain = chipOf(trace, 6, 0);
+    plain.sensor = testSensor();
+
+    ChipSpec governed = plain;
+    // vRef pinned far above anything the rail can reach makes the
+    // proportional term saturate the budget at N every cycle, so the
+    // governor grants everything the sensors ask for.
+    ChipGovernorConfig g;
+    g.vRefFrac = 2.0;
+    g.kp = 1.0;
+    g.ki = 0.0;
+    governed.governor = g;
+
+    const auto a = runChips({plain}, 3000, BackendKind::Batched);
+    const auto b = runChips({governed}, 3000, BackendKind::Batched);
+    expectChipsEqual(a[0], b[0], "grant-all governor");
+    EXPECT_EQ(b[0].gateDenials, 0u);
+}
+
+TEST(Multicore, RestrictiveGovernorDeniesAndStaysDeterministic)
+{
+    const CapturedTrace trace = noisyTrace(4000, 60, 0x50da);
+    ChipSpec governed = chipOf(trace, 8, 0);  // synced: worst case
+    governed.sensor = testSensor();
+    ChipGovernorConfig g;
+    g.kp = 0.25;  // budget ~2 of 8 at a full-band droop
+    g.ki = 0.01;
+    governed.governor = g;
+
+    const auto a = runChips({governed}, 3000, BackendKind::Batched);
+    ASSERT_EQ(a[0].cores.size(), 8u);
+    // Synced cores trip together, so a 2-of-8 budget must deny.
+    EXPECT_GT(a[0].gateDenials, 0u);
+    EXPECT_GT(a[0].gateGrants, 0u);
+    EXPECT_GT(a[0].gateFairness, 0.0);
+    EXPECT_LE(a[0].gateFairness, 1.0);
+
+    // Determinism: an identical second sim reproduces every field.
+    const auto b = runChips({governed}, 3000, BackendKind::Batched);
+    expectChipsEqual(a[0], b[0], "governor determinism");
+}
+
+// ------------------------------------------------------ stats groups
+
+TEST(Multicore, StatsGroupsBindPerChipAndPerCore)
+{
+    const CapturedTrace trace = noisyTrace(2000, 60, 0x57a7);
+    ChipSpec staggered = chipOf(trace, 2, 20);
+    ChipSpec synced = chipOf(trace, 4, 0);
+    ChipSpec governed = chipOf(trace, 3, 0);
+    governed.sensor = testSensor();
+    governed.governor = ChipGovernorConfig{};
+
+    MulticoreSim sim({staggered, synced, governed});
+    obs::Registry reg;
+    sim.registerStats(reg, "mc");
+    sim.run(1500);
+
+    const obs::Snapshot snap = reg.snapshot();
+    auto counter = [&](const std::string &name) {
+        for (const auto &e : snap.entries())
+            if (e.name == name)
+                return e.u;
+        ADD_FAILURE() << "missing stat " << name;
+        return uint64_t{0};
+    };
+
+    // Per-chip emergency groups exist for every chip; the synced
+    // open-loop chip droops, the staggered one cancels.
+    EXPECT_EQ(counter("mc.chip0.low_emergency_cycles"), 0u);
+    EXPECT_GT(counter("mc.chip1.low_emergency_cycles"), 0u);
+
+    // Per-core groups: gating happened on the closed-loop chip, and
+    // the governor's group binds under it.
+    uint64_t gated = 0;
+    for (size_t i = 0; i < 3; ++i)
+        gated += counter("mc.chip2.core" + std::to_string(i) +
+                         ".gated_cycles");
+    EXPECT_GT(gated, 0u);
+    EXPECT_GT(counter("mc.chip2.governor.grants"), 0u);
+}
+
+// ------------------------------------------------- golden mini sweep
+
+namespace {
+
+/** Deterministic JSONL for a small cores × alignment chip sweep. */
+std::string
+miniChipSweepJsonl(BackendKind kind)
+{
+    const CapturedTrace trace = noisyTrace(8192, 60, 42);
+    std::vector<ChipSpec> chips;
+    std::vector<std::string> labels;
+    for (const size_t n : {1u, 2u, 4u}) {
+        for (const bool synced : {true, false}) {
+            chips.push_back(chipOf(trace, n, synced ? 0 : 60 / n));
+            labels.push_back(std::to_string(n) +
+                             (synced ? ":synced" : ":staggered"));
+        }
+    }
+
+    const auto results = runChips(chips, 8192, kind);
+
+    std::string out;
+    for (size_t i = 0; i < results.size(); ++i) {
+        JsonWriter w;
+        w.beginObject();
+        w.field("config", labels[i]);
+        w.field("cycles", results[i].cycles);
+        w.field("minV", results[i].minV);
+        w.field("maxV", results[i].maxV);
+        w.field("lowEmergencyCycles", results[i].lowEmergencyCycles);
+        w.field("highEmergencyCycles",
+                results[i].highEmergencyCycles);
+        w.key("hist").beginArray();
+        for (size_t b = 0; b < results[i].voltageHist.bins(); ++b)
+            w.value(results[i].voltageHist.count(b));
+        w.endArray();
+        w.endObject();
+        out += w.take();
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace
+
+/**
+ * Byte-pinned golden of the chip sweep, produced by the batched
+ * backend and cross-checked against the scalar rendering. Regenerate
+ * deliberately with
+ *   VGUARD_UPDATE_GOLDEN=1 ./tests/test_multicore \
+ *       --gtest_filter=Multicore.MiniChipSweepGolden
+ */
+TEST(Multicore, MiniChipSweepGolden)
+{
+    const std::string goldenPath =
+        std::string(VGUARD_GOLDEN_DIR) + "/mini_chip_sweep.jsonl";
+    const std::string batched = miniChipSweepJsonl(BackendKind::Batched);
+    const std::string scalar = miniChipSweepJsonl(BackendKind::Scalar);
+    EXPECT_EQ(batched, scalar)
+        << "batched and scalar chip sweeps render different bytes";
+
+    if (std::getenv("VGUARD_UPDATE_GOLDEN")) {
+        std::ofstream out(goldenPath, std::ios::binary);
+        ASSERT_TRUE(out.good()) << "cannot write " << goldenPath;
+        out << batched;
+        GTEST_SKIP() << "golden updated: " << goldenPath;
+    }
+
+    std::ifstream in(goldenPath, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << goldenPath
+        << " — generate with VGUARD_UPDATE_GOLDEN=1";
+    std::stringstream buf;
+    buf << in.rdbuf();
+    const std::string expected = buf.str();
+
+    if (expected != batched) {
+        std::istringstream ea(expected), aa(batched);
+        std::string el, al;
+        int line = 1;
+        while (std::getline(ea, el) && std::getline(aa, al) && el == al)
+            ++line;
+        ADD_FAILURE() << "golden mismatch at line " << line
+                      << "\n  expected: " << el
+                      << "\n  actual:   " << al;
+    }
+    SUCCEED();
+}

@@ -12,6 +12,7 @@
 #include <gtest/gtest.h>
 
 #include "core/experiments.hpp"
+#include "core/multicore_sim.hpp"
 #include "core/threshold_solver.hpp"
 #include "cpu/branch_pred.hpp"
 #include "cpu/cache.hpp"
@@ -320,6 +321,175 @@ TEST_P(BatchedBackend, PaddingInvariance)
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BatchedBackend,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));
+
+// --------------------------------------- multicore chip properties
+
+/**
+ * Randomized invariants of the shared-rail chip path over seeded
+ * chip draws (see tests/test_multicore.cpp for the structured
+ * differential suite). Each seed draws 1–4 chips with random core
+ * counts (including 1), random phase offsets, occasional parked
+ * cores and an optional governor, then asserts that the batched
+ * backend matches scalar exactly and that the run is deterministic.
+ */
+class MulticoreChip : public ::testing::TestWithParam<uint64_t>
+{
+  protected:
+    struct Draw
+    {
+        std::vector<core::CapturedTrace> traces;
+        std::vector<core::ChipSpec> chips;
+        uint64_t cycles = 0;
+    };
+
+    static Draw
+    draw(uint64_t seed)
+    {
+        Rng rng(seed);
+        Draw d;
+        const size_t nChips = 1 + rng.below(4);
+        // Traces outlive the specs (ChipSpec stores pointers); one
+        // per chip plus a shared zero-length trace for parked cores.
+        d.traces.resize(nChips + 1);
+        for (size_t c = 0; c < nChips; ++c) {
+            core::CapturedTrace &t = d.traces[c];
+            t.amps.resize(200 + rng.below(1500));
+            for (double &a : t.amps)
+                a = rng.uniform(0.0, 50.0);
+        }
+        for (size_t c = 0; c < nChips; ++c) {
+            core::ChipSpec chip;
+            const size_t nCores = 1 + rng.below(8);
+            const double s = 1.0 / static_cast<double>(nCores);
+            chip.package = pdn::PackageModel::design(
+                               rng.uniform(30e6, 150e6),
+                               rng.uniform(0.8e-3, 4e-3) * s,
+                               0.5e-3 * s, 0.25e-3 * s)
+                               .params();
+            chip.iTrim = rng.uniform(0.0, 10.0) *
+                         static_cast<double>(nCores);
+            for (size_t i = 0; i < nCores; ++i) {
+                core::CoreSlot slot;
+                // One in eight cores is parked (zero-length trace).
+                slot.trace = rng.below(8) == 0 ? &d.traces[nChips]
+                                               : &d.traces[c];
+                slot.phaseOffset = rng.below(2000);
+                slot.iGate = rng.uniform(0.0, 5.0);
+                slot.iPhantom = rng.uniform(40.0, 60.0);
+                chip.cores.push_back(slot);
+            }
+            if (rng.chance(0.5)) {
+                core::SensorConfig sc;
+                sc.vLow = 0.96;
+                sc.vHigh = 1.04;
+                sc.delayCycles = 1 + rng.below(4);
+                sc.noiseMagnitude = rng.uniform(0.0, 0.01);
+                sc.seed = rng.below(1u << 20);
+                chip.sensor = sc;
+                if (rng.chance(0.5)) {
+                    core::ChipGovernorConfig g;
+                    g.kp = rng.uniform(0.1, 2.0);
+                    g.ki = rng.uniform(0.0, 0.1);
+                    chip.governor = g;
+                }
+            }
+            d.chips.push_back(std::move(chip));
+        }
+        d.cycles = 500 + rng.below(2000);
+        return d;
+    }
+};
+
+TEST_P(MulticoreChip, BatchedMatchesScalarExactly)
+{
+    const Draw d = draw(GetParam());
+    const auto scalar =
+        core::runChips(d.chips, d.cycles, pdn::BackendKind::Scalar);
+    const auto batched =
+        core::runChips(d.chips, d.cycles, pdn::BackendKind::Batched);
+    ASSERT_EQ(scalar.size(), batched.size());
+    for (size_t c = 0; c < scalar.size(); ++c) {
+        ASSERT_EQ(scalar[c].minV, batched[c].minV) << "chip " << c;
+        ASSERT_EQ(scalar[c].maxV, batched[c].maxV) << "chip " << c;
+        ASSERT_EQ(scalar[c].lowEmergencyCycles,
+                  batched[c].lowEmergencyCycles)
+            << "chip " << c;
+        ASSERT_EQ(scalar[c].highEmergencyCycles,
+                  batched[c].highEmergencyCycles)
+            << "chip " << c;
+        ASSERT_EQ(scalar[c].gateGrants, batched[c].gateGrants)
+            << "chip " << c;
+        ASSERT_EQ(scalar[c].gateDenials, batched[c].gateDenials)
+            << "chip " << c;
+        for (size_t b = 0; b < scalar[c].voltageHist.bins(); ++b)
+            ASSERT_EQ(scalar[c].voltageHist.count(b),
+                      batched[c].voltageHist.count(b))
+                << "chip " << c << " bin " << b;
+    }
+}
+
+TEST_P(MulticoreChip, RunsAreDeterministic)
+{
+    // Property: the sensor noise streams are seeded, so an identical
+    // second run reproduces every counter and extremum exactly.
+    const Draw d = draw(GetParam());
+    const auto a =
+        core::runChips(d.chips, d.cycles, pdn::BackendKind::Batched);
+    const auto b =
+        core::runChips(d.chips, d.cycles, pdn::BackendKind::Batched);
+    for (size_t c = 0; c < a.size(); ++c) {
+        ASSERT_EQ(a[c].minV, b[c].minV) << "chip " << c;
+        ASSERT_EQ(a[c].maxV, b[c].maxV) << "chip " << c;
+        ASSERT_EQ(a[c].lowEmergencyCycles, b[c].lowEmergencyCycles);
+        ASSERT_EQ(a[c].highEmergencyCycles, b[c].highEmergencyCycles);
+        ASSERT_EQ(a[c].gateGrants, b[c].gateGrants);
+        ASSERT_EQ(a[c].gateDenials, b[c].gateDenials);
+        ASSERT_EQ(a[c].gateFairness, b[c].gateFairness);
+        for (size_t i = 0; i < a[c].cores.size(); ++i) {
+            ASSERT_EQ(a[c].cores[i].gatedCycles,
+                      b[c].cores[i].gatedCycles);
+            ASSERT_EQ(a[c].cores[i].phantomCycles,
+                      b[c].cores[i].phantomCycles);
+        }
+    }
+}
+
+TEST_P(MulticoreChip, SplitRunsMatchOneLongRun)
+{
+    // Property: rail and control state carry across run() calls, so
+    // run(a); run(b) accumulates exactly like one run(a + b).
+    const Draw d = draw(GetParam());
+    core::MulticoreSim whole(d.chips);
+    const auto one = whole.run(d.cycles);
+
+    core::MulticoreSim split(d.chips);
+    const uint64_t head = d.cycles / 3;
+    const auto first = split.run(head);
+    const auto second = split.run(d.cycles - head);
+
+    for (size_t c = 0; c < one.size(); ++c) {
+        ASSERT_EQ(one[c].cycles,
+                  first[c].cycles + second[c].cycles);
+        ASSERT_EQ(one[c].minV,
+                  std::min(first[c].minV, second[c].minV))
+            << "chip " << c;
+        ASSERT_EQ(one[c].maxV,
+                  std::max(first[c].maxV, second[c].maxV))
+            << "chip " << c;
+        ASSERT_EQ(one[c].lowEmergencyCycles,
+                  first[c].lowEmergencyCycles +
+                      second[c].lowEmergencyCycles)
+            << "chip " << c;
+        ASSERT_EQ(one[c].highEmergencyCycles,
+                  first[c].highEmergencyCycles +
+                      second[c].highEmergencyCycles)
+            << "chip " << c;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MulticoreChip,
                          ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
                                            21u, 34u));
 

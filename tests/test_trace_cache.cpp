@@ -58,6 +58,70 @@ expectSameSim(const VoltageSimResult &a, const VoltageSimResult &b)
 
 // ------------------------------------------------------------- key
 
+// ------------------------------------------------------- env knobs
+
+/**
+ * Regression tests for the strict VGUARD_TRACE_CACHE /
+ * VGUARD_TRACE_CACHE_MB parsing bugfix. The old code fed the env text
+ * to strtoull semantics: "-5" wrapped to a near-2^64 MB budget,
+ * "10abc" silently dropped its tail, and any non-"0" toggle text
+ * counted as "on". All of those must now be rejected (the singleton
+ * then logs a warning and keeps its default).
+ */
+TEST(TraceCacheEnv, StrictSizeParsing)
+{
+    size_t mb = 0;
+    EXPECT_TRUE(parseTraceCacheMb("0", mb));
+    EXPECT_EQ(mb, 0u);
+    EXPECT_TRUE(parseTraceCacheMb("1024", mb));
+    EXPECT_EQ(mb, 1024u);
+    EXPECT_TRUE(parseTraceCacheMb("9999999", mb));
+    EXPECT_EQ(mb, 9999999u);
+
+    mb = 77;
+    EXPECT_FALSE(parseTraceCacheMb("", mb));
+    EXPECT_FALSE(parseTraceCacheMb("-5", mb));
+    EXPECT_FALSE(parseTraceCacheMb("+5", mb));
+    EXPECT_FALSE(parseTraceCacheMb("10abc", mb));
+    EXPECT_FALSE(parseTraceCacheMb("abc10", mb));
+    EXPECT_FALSE(parseTraceCacheMb(" 10", mb));
+    EXPECT_FALSE(parseTraceCacheMb("10 ", mb));
+    EXPECT_FALSE(parseTraceCacheMb("1e3", mb));
+    EXPECT_FALSE(parseTraceCacheMb("0x10", mb));
+    // Over the 7-digit cap: would overflow the MB→byte conversion.
+    EXPECT_FALSE(parseTraceCacheMb("18446744073709551615", mb));
+    EXPECT_FALSE(parseTraceCacheMb("10000000", mb));
+    EXPECT_EQ(mb, 77u) << "rejected text must leave the value alone";
+}
+
+TEST(TraceCacheEnv, StrictEnableParsing)
+{
+    bool on = false;
+    EXPECT_TRUE(parseTraceCacheEnabled("1", on));
+    EXPECT_TRUE(on);
+    EXPECT_TRUE(parseTraceCacheEnabled("on", on));
+    EXPECT_TRUE(on);
+    EXPECT_TRUE(parseTraceCacheEnabled("true", on));
+    EXPECT_TRUE(on);
+    EXPECT_TRUE(parseTraceCacheEnabled("0", on));
+    EXPECT_FALSE(on);
+    on = true;
+    EXPECT_TRUE(parseTraceCacheEnabled("off", on));
+    EXPECT_FALSE(on);
+    on = true;
+    EXPECT_TRUE(parseTraceCacheEnabled("false", on));
+    EXPECT_FALSE(on);
+
+    on = true;
+    EXPECT_FALSE(parseTraceCacheEnabled("", on));
+    EXPECT_FALSE(parseTraceCacheEnabled("maybe", on));
+    EXPECT_FALSE(parseTraceCacheEnabled("ON", on));
+    EXPECT_FALSE(parseTraceCacheEnabled("True", on));
+    EXPECT_FALSE(parseTraceCacheEnabled("yes", on));
+    EXPECT_FALSE(parseTraceCacheEnabled("2", on));
+    EXPECT_TRUE(on) << "rejected text must leave the value alone";
+}
+
 TEST(TraceKey, DistinguishesEveryComponent)
 {
     const Machine m = referenceMachine();
