@@ -51,6 +51,7 @@
 #include "core/multicore_sim.hpp"
 #include "core/trace_cache.hpp"
 #include "core/voltage_sim.hpp"
+#include "obs/tracing.hpp"
 #include "pdn/pdn_backend.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "power/wattch.hpp"
@@ -153,6 +154,45 @@ main(int argc, char **argv)
         VoltageSim sim(openCfg, program);
         blkRes = sim.runReplay(trace);
     });
+
+    // Tracing overhead guard: the same block replay, best-of-N, with
+    // the span tracer off and then on. Instrumentation must stay
+    // effectively free on the replay hot path (CI enforces a ceiling
+    // on the percentage via benchdiff).
+    // Interleave the two variants (machine speed drifts over the
+    // bench's lifetime; back-to-back pairs see the same conditions)
+    // and keep the best of each. enable()/disable() sit outside the
+    // timed regions: ring allocation is a one-off cost, not the
+    // per-event overhead this guard pins, and each enable() starts
+    // from an empty (never-dropping) ring.
+    constexpr int kOverheadReps = 9;
+    obs::Tracer::instance().enable();
+    {
+        // Prewarm: force the per-thread ring allocation outside the
+        // timed regions (it is a one-off cost, not the per-event
+        // overhead this guard pins).
+        obs::TraceSpan warm("bench.warm");
+    }
+    obs::Tracer::instance().disable();
+    double untracedSecs = 0.0, tracedSecs = 0.0;
+    for (int r = 0; r < kOverheadReps; ++r) {
+        const double u = timeIt([&] {
+            VoltageSim sim(openCfg, program);
+            blkRes = sim.runReplay(trace);
+        });
+        obs::Tracer::instance().resume();
+        const double t = timeIt([&] {
+            VoltageSim sim(openCfg, program);
+            blkRes = sim.runReplay(trace);
+        });
+        obs::Tracer::instance().disable();
+        untracedSecs = r == 0 ? u : std::min(untracedSecs, u);
+        tracedSecs = r == 0 ? t : std::min(tracedSecs, t);
+    }
+    const double tracedReplayOverheadPct =
+        untracedSecs > 0.0
+            ? (tracedSecs / untracedSecs - 1.0) * 100.0
+            : 0.0;
 
     // Closed-loop context: the controller path replay can never take.
     RunSpec closed;
@@ -292,6 +332,8 @@ main(int argc, char **argv)
                 fullRate > 0.0 ? ctlRate / fullRate : 0.0);
     std::printf("replay identical: per-cycle=%s block=%s\n",
                 cycSame ? "yes" : "NO", blkSame ? "yes" : "NO");
+    std::printf("traced replay overhead: %.3f%%\n",
+                tracedReplayOverheadPct);
 
     std::printf("%-22s %14s %10s\n", "sweep engine",
                 "lane-cycles/s", "speedup");
@@ -327,6 +369,7 @@ main(int argc, char **argv)
     w.field("closedLoopCyclesPerSec", ctlRate);
     w.field("replaySpeedup", speedup);
     w.field("replayIdentical", cycSame && blkSame);
+    w.field("tracedReplayOverheadPct", tracedReplayOverheadPct);
     w.field("batchedLanes", uint64_t{laneCount});
     w.field("scalarLaneCyclesPerSec", scalarLaneRate);
     w.field("batchedLaneCyclesPerSec", batchedLaneRate);

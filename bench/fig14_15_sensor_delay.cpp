@@ -103,5 +103,7 @@ main(int argc, char **argv)
         std::printf("campaign: wrote %s\n", cli.statsJsonPath.c_str());
     if (writeCampaignEventsJsonl(campaign, cli.eventsPath))
         std::printf("campaign: wrote %s\n", cli.eventsPath.c_str());
+    if (writeCampaignTrace(cli))
+        std::printf("campaign: wrote trace artifacts\n");
     return 0;
 }

@@ -27,15 +27,16 @@
  * All cores × alignment configurations run as lanes of ONE batched
  * shared-rail backend pass, cross-checked field for field against the
  * scalar reference. Usage:
- *   tab_chip_emergencies [--jsonl FILE]
+ *   tab_chip_emergencies [--jsonl FILE] [--trace FILE]
+ *                        [--trace-canonical FILE]
  */
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
 #include <string>
 #include <vector>
 
+#include "core/campaign.hpp"
 #include "core/experiments.hpp"
 #include "core/multicore_sim.hpp"
 #include "pdn/package_model.hpp"
@@ -73,10 +74,8 @@ phaseOffset(const std::string &alignment, size_t i, size_t n,
 int
 main(int argc, char **argv)
 {
-    std::string jsonlPath;
-    for (int i = 1; i < argc; ++i)
-        if (std::strcmp(argv[i], "--jsonl") == 0 && i + 1 < argc)
-            jsonlPath = argv[++i];
+    const CampaignCli cli = parseCampaignCli(argc, argv);
+    const std::string &jsonlPath = cli.jsonlPath;
 
     std::printf("== Chip emergencies: shared-rail cores vs phase "
                 "alignment ==\n\n");
@@ -253,5 +252,6 @@ main(int argc, char **argv)
         }
         std::printf("wrote %s\n", jsonlPath.c_str());
     }
+    writeCampaignTrace(cli);
     return syncedStrictlyWorst && lanesIdentical ? 0 : 1;
 }

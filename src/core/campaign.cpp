@@ -13,6 +13,7 @@
 
 #include "core/actuator.hpp"
 #include "core/trace_cache.hpp"
+#include "obs/tracing.hpp"
 #include "util/jsonl.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -59,17 +60,26 @@ CampaignEngine::forEach(size_t count,
 
     std::mutex errorMutex;
     std::exception_ptr firstError;
+    std::atomic<uint64_t> steals{0};
 
     auto worker = [&](unsigned self) {
         constexpr size_t kNone = std::numeric_limits<size_t>::max();
         for (;;) {
             size_t job = kNone;
+            size_t pending = 0;
             {
                 std::lock_guard<std::mutex> lock(queues[self].m);
                 if (!queues[self].q.empty()) {
                     job = queues[self].q.front();
                     queues[self].q.pop_front();
                 }
+                pending = queues[self].q.size();
+            }
+            if (job != kNone) {
+                // Wall-class by construction: which worker holds what
+                // is pure scheduling.
+                obs::traceCounter("campaign.queue.pending",
+                                  static_cast<double>(pending));
             }
             for (unsigned off = 1; job == kNone && off < nWorkers;
                  ++off) {
@@ -78,6 +88,12 @@ CampaignEngine::forEach(size_t count,
                 if (!victim.q.empty()) {
                     job = victim.q.back();
                     victim.q.pop_back();
+                    obs::traceCounter(
+                        "campaign.queue.steals",
+                        static_cast<double>(steals.fetch_add(
+                                                1,
+                                                std::memory_order_relaxed) +
+                                            1));
                 }
             }
             if (job == kNone)
@@ -128,19 +144,37 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         if (opts_.profiling)
             spec.profiling = true;
         rr.spec = spec;
-        if (job.compare) {
-            rr.comparison = compareControlled(job.program, spec);
-            rr.sim = rr.comparison->controlled;
-        } else {
-            rr.sim = runWorkload(job.program, spec);
+        {
+            // Detached: which worker executes run i is scheduling;
+            // the run itself is not. One canonical root per run.
+            obs::TraceSpan span("campaign.run", obs::TraceClass::Det,
+                                true);
+            if (job.compare) {
+                rr.comparison = compareControlled(job.program, spec);
+                rr.sim = rr.comparison->controlled;
+            } else {
+                rr.sim = runWorkload(job.program, spec);
+            }
+            span.arg("index", uint64_t{i})
+                .arg("name", job.name)
+                .arg("cycles", rr.sim.cycles);
         }
         if (opts_.progress) {
             // Completion order is worker-dependent; this is purely a
-            // liveness indicator, never an artifact.
+            // liveness indicator, never an artifact. inform() renders
+            // into one buffer and emits a single fwrite, so lines
+            // from concurrent workers never tear.
             const size_t done =
                 completed.fetch_add(1, std::memory_order_relaxed) + 1;
-            inform("campaign: %zu/%zu done (%s)", done, jobs.size(),
-                   job.name.c_str());
+            const double secs = wall.seconds();
+            const double rate =
+                secs > 0.0 ? static_cast<double>(done) / secs : 0.0;
+            const double etaS =
+                rate > 0.0
+                    ? static_cast<double>(jobs.size() - done) / rate
+                    : 0.0;
+            inform("campaign: %zu/%zu done (%s) %.1f runs/s eta %.1fs",
+                   done, jobs.size(), job.name.c_str(), rate, etaS);
         }
     });
 
@@ -338,6 +372,8 @@ CampaignResult::statsJson() const
         tw.field("enabled", tc.enabled());
         tw.field("captures", tc.captures());
         tw.field("hits", tc.hits());
+        tw.field("misses", tc.misses());
+        tw.field("evicts", tc.evicts());
         tw.field("entries", static_cast<uint64_t>(tc.entries()));
         tw.field("bytes", static_cast<uint64_t>(tc.bytes()));
         tw.endObject();
@@ -422,12 +458,24 @@ parseCampaignCli(int argc, char **argv)
             cli.eventsPath = takeValue("--events");
             if (cli.eventsPath.empty())
                 fatal("--events: missing value");
+        } else if (arg == "--trace") {
+            cli.tracePath = takeValue("--trace");
+            if (cli.tracePath.empty())
+                fatal("--trace: missing value");
+        } else if (arg == "--trace-canonical") {
+            cli.traceCanonicalPath = takeValue("--trace-canonical");
+            if (cli.traceCanonicalPath.empty())
+                fatal("--trace-canonical: missing value");
         } else if (arg == "--progress") {
             cli.options.progress = true;
         } else {
             cli.positional.push_back(std::move(arg));
         }
     }
+    // Recording must cover the campaign itself, so the tracer turns
+    // on here — at CLI-parse time, before any job runs.
+    if (!cli.tracePath.empty() || !cli.traceCanonicalPath.empty())
+        obs::Tracer::instance().enable();
     return cli;
 }
 
@@ -479,6 +527,32 @@ writeCampaignEventsJsonl(const CampaignResult &result,
         return false;
     return writeTextFile(result.eventsJsonl(), path,
                          "writeCampaignEventsJsonl");
+}
+
+bool
+writeCampaignTrace(const CampaignCli &cli)
+{
+    if (cli.tracePath.empty() && cli.traceCanonicalPath.empty())
+        return false;
+    obs::Tracer &tracer = obs::Tracer::instance();
+    // Quiesce before export: the campaign pool has joined by the time
+    // artifact writers run, so disabling here is safe and makes the
+    // export a stable snapshot.
+    tracer.disable();
+    const obs::Tracer::Stats st = tracer.stats();
+    if (st.droppedDet > 0)
+        warn("trace: %llu deterministic events dropped (raise the "
+             "buffer capacity); canonical form is not golden-stable",
+             static_cast<unsigned long long>(st.droppedDet));
+    bool wrote = false;
+    if (!cli.tracePath.empty())
+        wrote |= writeTextFile(tracer.chromeJson(), cli.tracePath,
+                               "writeCampaignTrace");
+    if (!cli.traceCanonicalPath.empty())
+        wrote |= writeTextFile(tracer.canonicalJsonl(),
+                               cli.traceCanonicalPath,
+                               "writeCampaignTrace");
+    return wrote;
 }
 
 } // namespace vguard::core

@@ -173,16 +173,21 @@ struct CampaignCli
     std::string jsonlPath;                 ///< --jsonl FILE; "" = none
     std::string statsJsonPath;             ///< --stats-json FILE
     std::string eventsPath;                ///< --events FILE
+    std::string tracePath;                 ///< --trace FILE (Chrome JSON)
+    std::string traceCanonicalPath;        ///< --trace-canonical FILE
     std::vector<std::string> positional;   ///< everything unrecognised
 };
 
 /**
  * Parse the shared campaign flags out of argv: `--threads N`,
  * `--seed S`, `--jsonl FILE`, `--stats-json FILE` (implies
- * profiling), `--events FILE`, `--progress` (also `--flag=value`
- * forms). Unknown arguments are returned as positionals in order;
- * malformed values are fatal(). Shared by the bench binaries and
- * examples so every sweep exposes the same knobs.
+ * profiling), `--events FILE`, `--trace FILE` (Chrome trace-event
+ * JSON; enables the obs::Tracer), `--trace-canonical FILE` (the
+ * wall-clock-stripped canonical form; also enables the tracer),
+ * `--progress` (also `--flag=value` forms). Unknown arguments are
+ * returned as positionals in order; malformed values are fatal().
+ * Shared by the bench binaries and examples so every sweep exposes
+ * the same knobs.
  */
 CampaignCli parseCampaignCli(int argc, char **argv);
 
@@ -200,6 +205,14 @@ bool writeCampaignStatsJson(const CampaignResult &result,
 /** Write result.eventsJsonl() to @p path (same contract). */
 bool writeCampaignEventsJsonl(const CampaignResult &result,
                               const std::string &path);
+
+/**
+ * Export the process-wide tracer to cli.tracePath (Chrome trace-event
+ * JSON) and/or cli.traceCanonicalPath (canonical JSONL). Call after
+ * the campaign has joined its pool (no thread is still recording).
+ * No-op (returns false) when neither path is set.
+ */
+bool writeCampaignTrace(const CampaignCli &cli);
 
 } // namespace vguard::core
 

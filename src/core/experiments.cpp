@@ -11,6 +11,7 @@
 #include <tuple>
 
 #include "core/trace_cache.hpp"
+#include "obs/tracing.hpp"
 #include "pdn/package_model.hpp"
 #include "power/wattch.hpp"
 #include "workloads/kernels.hpp"
@@ -167,6 +168,16 @@ referenceThresholds(double impedanceScale, unsigned delayCycles,
         entry = slot.get();
     }
     std::call_once(entry->once, [&] {
+        // Detached: one solve per key, fired by whichever worker asks
+        // first — a canonical root (solver.probe spans nest under it).
+        obs::TraceSpan span("solver.solve", obs::TraceClass::Det, true);
+        span.arg("scale_milli",
+                 uint64_t{static_cast<uint64_t>(
+                     std::lround(impedanceScale * 1000.0))})
+            .arg("delay", uint64_t{delayCycles})
+            .arg("error_ppm",
+                 uint64_t{static_cast<uint64_t>(
+                     std::lround(sensorError * 1e6))});
         const Machine m = referenceMachine();
         const CurrentRange &range = referenceCurrentRange();
         ThresholdSpec spec;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracing.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -148,6 +149,25 @@ MulticoreSim::controlCycle(size_t chipIdx, double v,
         st.governor->arbitrate(st.gateReq, st.grant);
     } else {
         st.grant = st.gateReq;
+    }
+
+    // Arbitration decisions as instant events: only on cycles where
+    // some core asked to gate, and only while tracing — controlCycle
+    // runs once per simulated cycle per chip.
+    if (obs::Tracer::instance().enabled()) {
+        uint64_t reqMask = 0, grantMask = 0;
+        for (size_t i = 0; i < n && i < 64; ++i) {
+            reqMask |= uint64_t{st.gateReq[i] != 0} << i;
+            grantMask |= uint64_t{st.grant[i] != 0} << i;
+        }
+        if (reqMask != 0) {
+            obs::TraceInstant inst("chip.arbitrate");
+            inst.arg("chip", uint64_t{chipIdx})
+                .arg("req_mask", reqMask)
+                .arg("grant_mask", grantMask);
+            if (st.governor)
+                inst.arg("budget", uint64_t{st.governor->budget()});
+        }
     }
 
     for (size_t i = 0; i < n; ++i) {

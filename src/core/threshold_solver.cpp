@@ -7,6 +7,7 @@
 #include <memory>
 
 #include "linsys/worst_case.hpp"
+#include "obs/tracing.hpp"
 #include "pdn/impulse.hpp"
 #include "pdn/pdn_backend.hpp"
 #include "pdn/pdn_sim.hpp"
@@ -238,6 +239,11 @@ solveThresholds(const ThresholdSpec &spec)
 
     auto evalAll = [&](double vLow, double vHigh, double &vMin,
                        double &vMax) {
+        // Probe count and lane count are pure functions of the spec,
+        // so these spans are canonical (Det) — they nest under the
+        // enclosing solver.solve root.
+        obs::TraceSpan probe("solver.probe");
+        probe.arg("lanes", uint64_t{scenarios.size()});
         vMin = spec.vNominal;
         vMax = spec.vNominal;
         if (backend) {

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/tracing.hpp"
 #include "util/logging.hpp"
 
 namespace vguard::core {
@@ -254,21 +255,51 @@ TraceCache::fetchOrCapture(const std::string &key,
     std::call_once(e->once, [&] {
         captured = true;
         captures_.fetch_add(1, std::memory_order_relaxed);
-        e->trace = capture();
-        const size_t sz = e->trace.bytes();
-        std::lock_guard<std::mutex> lock(m_);
-        if (bytes_ + sz <= maxBytes_) {
-            bytes_ += sz;
-            ++retained_;
-            e->retained = true;
-        } else {
-            // Over budget: drop the trace but keep the (tiny) entry so
-            // the key is never captured twice.
-            e->trace = CapturedTrace{};
+        misses_.fetch_add(1, std::memory_order_relaxed);
+        {
+            // Detached: the capture is one-per-key work that fires on
+            // whichever worker gets there first, so it is a canonical
+            // root, not a child of that worker's run span.
+            obs::TraceSpan span("trace_cache.capture",
+                               obs::TraceClass::Det, true);
+            e->trace = capture();
+            span.arg("cycles", uint64_t{e->trace.amps.size()})
+                .arg("bytes", uint64_t{e->trace.bytes()});
         }
+        const size_t sz = e->trace.bytes();
+        size_t resident;
+        bool kept;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (bytes_ + sz <= maxBytes_) {
+                bytes_ += sz;
+                ++retained_;
+                e->retained = true;
+            } else {
+                // Over budget: drop the trace but keep the (tiny)
+                // entry so the key is never captured twice.
+                e->trace = CapturedTrace{};
+            }
+            resident = bytes_;
+            kept = e->retained;
+        }
+        if (!kept) {
+            evicts_.fetch_add(1, std::memory_order_relaxed);
+            obs::TraceInstant("trace_cache.evict")
+                .arg("bytes", uint64_t{sz});
+        }
+        obs::traceCounter("trace_cache.bytes",
+                          static_cast<double>(resident));
     });
-    if (!captured)
+    if (!captured) {
         hits_.fetch_add(1, std::memory_order_relaxed);
+        if (e->retained) {
+            obs::TraceInstant("trace_cache.hit");
+        } else {
+            misses_.fetch_add(1, std::memory_order_relaxed);
+            obs::TraceInstant("trace_cache.miss");
+        }
+    }
     // e->retained/e->trace are written only inside call_once, which
     // synchronizes-with every return from call_once on this flag.
     return e->retained ? &e->trace : nullptr;
@@ -282,16 +313,30 @@ TraceCache::put(const std::string &key, CapturedTrace trace)
     Entry *e = entryFor(key);
     std::call_once(e->once, [&] {
         captures_.fetch_add(1, std::memory_order_relaxed);
+        misses_.fetch_add(1, std::memory_order_relaxed);
         e->trace = std::move(trace);
         const size_t sz = e->trace.bytes();
-        std::lock_guard<std::mutex> lock(m_);
-        if (bytes_ + sz <= maxBytes_) {
-            bytes_ += sz;
-            ++retained_;
-            e->retained = true;
-        } else {
-            e->trace = CapturedTrace{};
+        size_t resident;
+        bool kept;
+        {
+            std::lock_guard<std::mutex> lock(m_);
+            if (bytes_ + sz <= maxBytes_) {
+                bytes_ += sz;
+                ++retained_;
+                e->retained = true;
+            } else {
+                e->trace = CapturedTrace{};
+            }
+            resident = bytes_;
+            kept = e->retained;
         }
+        if (!kept) {
+            evicts_.fetch_add(1, std::memory_order_relaxed);
+            obs::TraceInstant("trace_cache.evict")
+                .arg("bytes", uint64_t{sz});
+        }
+        obs::traceCounter("trace_cache.bytes",
+                          static_cast<double>(resident));
     });
 }
 
@@ -326,6 +371,18 @@ uint64_t
 TraceCache::hits() const
 {
     return hits_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TraceCache::misses() const
+{
+    return misses_.load(std::memory_order_relaxed);
+}
+
+uint64_t
+TraceCache::evicts() const
+{
+    return evicts_.load(std::memory_order_relaxed);
 }
 
 size_t

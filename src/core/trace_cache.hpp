@@ -161,6 +161,16 @@ class TraceCache
     uint64_t captures() const;
     /** Calls served from an existing entry without capturing. */
     uint64_t hits() const;
+    /**
+     * Calls that could not be served from a retained entry: every
+     * capture, plus later fetches of keys whose trace was dropped by
+     * the byte budget. Disjoint from hits() for capturing calls but
+     * not for budget-dropped keys (those count a hit on the once_flag
+     * and a miss on the missing bytes).
+     */
+    uint64_t misses() const;
+    /** Captured traces dropped (never retained) by the byte budget. */
+    uint64_t evicts() const;
     /** Retained entries / approximate retained bytes. */
     size_t entries() const;
     size_t bytes() const;
@@ -186,6 +196,8 @@ class TraceCache
     std::atomic<bool> enabled_;
     std::atomic<uint64_t> captures_{0};
     std::atomic<uint64_t> hits_{0};
+    std::atomic<uint64_t> misses_{0};
+    std::atomic<uint64_t> evicts_{0};
 };
 
 } // namespace vguard::core

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "obs/tracing.hpp"
 #include "pdn/impulse.hpp"
 #include "util/logging.hpp"
 
@@ -56,6 +57,10 @@ VoltageSim::VoltageSim(const VoltageSimConfig &cfg, isa::Program program)
     registry_.derivedCounter("pdn.emergencies.dropped",
                              "episodes dropped by the full event log",
                              [this] { return tracker_.log().dropped(); });
+    registry_.derivedCounter(
+        "pdn.emergencies.logged",
+        "episodes retained in the bounded event log",
+        [this] { return uint64_t{tracker_.log().events().size()}; });
     registry_.derivedGauge("pdn.v.min", "lowest die voltage seen [V]",
                            [this] { return vMinSeen_; },
                            obs::MergeRule::Min);
@@ -294,6 +299,11 @@ VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
     VGUARD_CHECK(!controller_);
     VGUARD_CHECK(blockCycles > 0);
     VGUARD_CHECK(trace.amps.size() == trace.activity.size());
+
+    // One Wall span for the whole replay (block loop below runs
+    // thousands of cycles per iteration — no per-cycle events).
+    obs::TraceSpan span("replay.run", obs::TraceClass::Wall);
+    span.arg("cycles", uint64_t{trace.amps.size()});
 
     VoltageSimResult res;
     res.voltageHist = Histogram(cfg_.histLo, cfg_.histHi, cfg_.histBins);

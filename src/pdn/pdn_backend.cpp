@@ -2,11 +2,29 @@
 
 #include <cmath>
 
+#include "obs/tracing.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "util/logging.hpp"
 #include "util/simd.hpp"
 
 namespace vguard::pdn {
+
+void
+PdnBackend::stepShared(const double *amps, size_t n, double *volts)
+{
+    obs::TraceSpan span("pdn.backend.step_shared", obs::TraceClass::Wall);
+    span.arg("cycles", uint64_t{n}).arg("lanes", uint64_t{lanes()});
+    doStepShared(amps, n, volts);
+}
+
+void
+PdnBackend::stepPerLane(const double *amps, size_t n, double *volts)
+{
+    obs::TraceSpan span("pdn.backend.step_per_lane",
+                        obs::TraceClass::Wall);
+    span.arg("cycles", uint64_t{n}).arg("lanes", uint64_t{lanes()});
+    doStepPerLane(amps, n, volts);
+}
 
 namespace {
 
@@ -73,7 +91,9 @@ class ScalarPdnBackend final : public PdnBackend
             sim.reset();
     }
 
-    void stepShared(const double *amps, size_t n, double *volts) override
+  protected:
+    void doStepShared(const double *amps, size_t n,
+                      double *volts) override
     {
         const size_t k = sims_.size();
         if (rowBuf_.size() < n)
@@ -85,6 +105,7 @@ class ScalarPdnBackend final : public PdnBackend
         }
     }
 
+  public:
     void stepCycle(const double *ampsPerLane,
                    double *voltsPerLane) override
     {
@@ -92,8 +113,10 @@ class ScalarPdnBackend final : public PdnBackend
             voltsPerLane[lane] = sims_[lane].step(ampsPerLane[lane]);
     }
 
-    void stepPerLane(const double *amps, size_t n,
-                     double *volts) override
+  protected:
+
+    void doStepPerLane(const double *amps, size_t n,
+                       double *volts) override
     {
         const size_t k = sims_.size();
         if (rowBuf_.size() < n)
@@ -178,13 +201,17 @@ class BatchedPdnBackend final : public PdnBackend
 
     void reset() override { x_ = xTrim_; }
 
-    void stepShared(const double *amps, size_t n, double *volts) override
+  protected:
+    void doStepShared(const double *amps, size_t n,
+                      double *volts) override
     {
         if (ns_ == 3)
             sharedKernel<3>(amps, n, volts);
         else
             sharedKernel<0>(amps, n, volts);
     }
+
+  public:
 
     void stepCycle(const double *ampsPerLane,
                    double *voltsPerLane) override
@@ -201,8 +228,9 @@ class BatchedPdnBackend final : public PdnBackend
             voltsPerLane[lane] = voltsPad_[lane];
     }
 
-    void stepPerLane(const double *amps, size_t n,
-                     double *volts) override
+  protected:
+    void doStepPerLane(const double *amps, size_t n,
+                       double *volts) override
     {
         // Repack the K-wide cycle-major input into the stride-padded
         // layout the packs load from; padding lanes clone the last

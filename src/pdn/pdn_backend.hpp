@@ -72,14 +72,19 @@ class PdnBackend
      * trace @p amps (the shared-trace sweep case). Writes cycle-major:
      * volts[k * lanes() + lane]. Callable repeatedly to stream a long
      * trace through in blocks; lane state carries across calls.
+     *
+     * Non-virtual wrapper: emits one Wall-class trace span per block
+     * (a block is thousands of cycles, so the span cost vanishes; the
+     * per-cycle stepCycle stays untraced — the solver makes millions
+     * of those calls), then delegates to doStepShared.
      */
-    virtual void stepShared(const double *amps, size_t n,
-                            double *volts) = 0;
+    void stepShared(const double *amps, size_t n, double *volts);
 
     /**
      * Advance one cycle with per-lane currents (the closed-loop solver
      * case, where each lane's controller picks its own draw).
      * @p ampsPerLane and @p voltsPerLane have lanes() entries.
+     * Deliberately untraced: this is the per-cycle hot path.
      */
     virtual void stepCycle(const double *ampsPerLane,
                            double *voltsPerLane) = 0;
@@ -91,10 +96,17 @@ class PdnBackend
      * are cycle-major: amps[k * lanes() + lane] is lane `lane`'s draw
      * on cycle k. Like stepShared, callable repeatedly in blocks with
      * lane state carrying across calls; bit-identical to n successive
-     * stepCycle calls over the same currents.
+     * stepCycle calls over the same currents. Traced wrapper like
+     * stepShared.
      */
-    virtual void stepPerLane(const double *amps, size_t n,
-                             double *volts) = 0;
+    void stepPerLane(const double *amps, size_t n, double *volts);
+
+  protected:
+    /** Engine implementations of the block-stepping entry points. */
+    virtual void doStepShared(const double *amps, size_t n,
+                              double *volts) = 0;
+    virtual void doStepPerLane(const double *amps, size_t n,
+                               double *volts) = 0;
 };
 
 /**

@@ -1,0 +1,282 @@
+#include "util/json_parse.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+#include "util/logging.hpp"
+
+namespace vguard {
+
+namespace {
+
+/** Nesting bound: campaign artifacts are ~4 deep; 64 is generous. */
+constexpr int kMaxDepth = 64;
+
+struct Parser
+{
+    std::string_view text;
+    size_t pos = 0;
+    std::string error;
+
+    bool fail(const std::string &msg)
+    {
+        error = msg + " at offset " + std::to_string(pos);
+        return false;
+    }
+
+    void skipWs()
+    {
+        while (pos < text.size() &&
+               (text[pos] == ' ' || text[pos] == '\t' ||
+                text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    bool literal(std::string_view word)
+    {
+        if (text.substr(pos, word.size()) != word)
+            return fail("expected '" + std::string(word) + "'");
+        pos += word.size();
+        return true;
+    }
+
+    bool parseString(std::string &out)
+    {
+        if (pos >= text.size() || text[pos] != '"')
+            return fail("expected string");
+        ++pos;
+        out.clear();
+        while (pos < text.size()) {
+            const char c = text[pos];
+            if (c == '"') {
+                ++pos;
+                return true;
+            }
+            if (c == '\\') {
+                if (pos + 1 >= text.size())
+                    return fail("dangling escape");
+                const char e = text[pos + 1];
+                pos += 2;
+                switch (e) {
+                case '"': out += '"'; break;
+                case '\\': out += '\\'; break;
+                case '/': out += '/'; break;
+                case 'b': out += '\b'; break;
+                case 'f': out += '\f'; break;
+                case 'n': out += '\n'; break;
+                case 'r': out += '\r'; break;
+                case 't': out += '\t'; break;
+                case 'u': {
+                    if (pos + 4 > text.size())
+                        return fail("truncated \\u escape");
+                    unsigned cp = 0;
+                    for (int i = 0; i < 4; ++i) {
+                        const char h = text[pos + static_cast<size_t>(i)];
+                        cp <<= 4;
+                        if (h >= '0' && h <= '9')
+                            cp |= static_cast<unsigned>(h - '0');
+                        else if (h >= 'a' && h <= 'f')
+                            cp |= static_cast<unsigned>(h - 'a' + 10);
+                        else if (h >= 'A' && h <= 'F')
+                            cp |= static_cast<unsigned>(h - 'A' + 10);
+                        else
+                            return fail("bad \\u escape");
+                    }
+                    pos += 4;
+                    // UTF-8 encode (BMP only; artifacts are ASCII).
+                    if (cp < 0x80) {
+                        out += static_cast<char>(cp);
+                    } else if (cp < 0x800) {
+                        out += static_cast<char>(0xC0 | (cp >> 6));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    } else {
+                        out += static_cast<char>(0xE0 | (cp >> 12));
+                        out += static_cast<char>(0x80 |
+                                                 ((cp >> 6) & 0x3F));
+                        out += static_cast<char>(0x80 | (cp & 0x3F));
+                    }
+                    break;
+                }
+                default:
+                    return fail("unknown escape");
+                }
+                continue;
+            }
+            out += c;
+            ++pos;
+        }
+        return fail("unterminated string");
+    }
+
+    bool parseNumber(JsonValue &out)
+    {
+        const size_t start = pos;
+        if (pos < text.size() && text[pos] == '-')
+            ++pos;
+        auto digits = [&] {
+            const size_t before = pos;
+            while (pos < text.size() && text[pos] >= '0' &&
+                   text[pos] <= '9')
+                ++pos;
+            return pos > before;
+        };
+        if (!digits())
+            return fail("expected digits");
+        if (pos < text.size() && text[pos] == '.') {
+            ++pos;
+            if (!digits())
+                return fail("expected fraction digits");
+        }
+        if (pos < text.size() &&
+            (text[pos] == 'e' || text[pos] == 'E')) {
+            ++pos;
+            if (pos < text.size() &&
+                (text[pos] == '+' || text[pos] == '-'))
+                ++pos;
+            if (!digits())
+                return fail("expected exponent digits");
+        }
+        out.kind = JsonValue::Kind::Number;
+        out.raw = std::string(text.substr(start, pos - start));
+        out.number = std::strtod(out.raw.c_str(), nullptr);
+        return true;
+    }
+
+    bool parseValue(JsonValue &out, int depth)
+    {
+        if (depth > kMaxDepth)
+            return fail("nesting too deep");
+        skipWs();
+        if (pos >= text.size())
+            return fail("unexpected end of input");
+        const char c = text[pos];
+        if (c == '{') {
+            ++pos;
+            out.kind = JsonValue::Kind::Object;
+            skipWs();
+            if (pos < text.size() && text[pos] == '}') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                skipWs();
+                std::string key;
+                if (!parseString(key))
+                    return false;
+                skipWs();
+                if (pos >= text.size() || text[pos] != ':')
+                    return fail("expected ':'");
+                ++pos;
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.members.emplace_back(std::move(key), std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == '}') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or '}'");
+            }
+        }
+        if (c == '[') {
+            ++pos;
+            out.kind = JsonValue::Kind::Array;
+            skipWs();
+            if (pos < text.size() && text[pos] == ']') {
+                ++pos;
+                return true;
+            }
+            for (;;) {
+                JsonValue v;
+                if (!parseValue(v, depth + 1))
+                    return false;
+                out.items.push_back(std::move(v));
+                skipWs();
+                if (pos < text.size() && text[pos] == ',') {
+                    ++pos;
+                    continue;
+                }
+                if (pos < text.size() && text[pos] == ']') {
+                    ++pos;
+                    return true;
+                }
+                return fail("expected ',' or ']'");
+            }
+        }
+        if (c == '"') {
+            out.kind = JsonValue::Kind::String;
+            return parseString(out.str);
+        }
+        if (c == 't') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = true;
+            return literal("true");
+        }
+        if (c == 'f') {
+            out.kind = JsonValue::Kind::Bool;
+            out.boolean = false;
+            return literal("false");
+        }
+        if (c == 'n') {
+            out.kind = JsonValue::Kind::Null;
+            return literal("null");
+        }
+        return parseNumber(out);
+    }
+};
+
+} // namespace
+
+const JsonValue *
+JsonValue::find(std::string_view key) const
+{
+    for (const auto &[k, v] : members)
+        if (k == key)
+            return &v;
+    return nullptr;
+}
+
+const JsonValue &
+JsonValue::at(std::string_view key, const char *what) const
+{
+    const JsonValue *v = find(key);
+    if (!v)
+        fatal("%s: missing key '%.*s'", what,
+              static_cast<int>(key.size()), key.data());
+    return *v;
+}
+
+bool
+parseJson(std::string_view text, JsonValue &out, std::string &error)
+{
+    Parser p{text, 0, {}};
+    out = JsonValue{};
+    if (!p.parseValue(out, 0)) {
+        error = p.error;
+        return false;
+    }
+    p.skipWs();
+    if (p.pos != text.size()) {
+        p.fail("trailing garbage");
+        error = p.error;
+        return false;
+    }
+    return true;
+}
+
+JsonValue
+parseJsonOrDie(std::string_view text, const char *what)
+{
+    JsonValue v;
+    std::string err;
+    if (!parseJson(text, v, err))
+        fatal("%s: %s", what, err.c_str());
+    return v;
+}
+
+} // namespace vguard

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal JSON parser for the repo's own artifacts.
+ *
+ * vguard-report and the tracing tests need to *read* the JSON the
+ * project writes (stats documents, bench results, trace exports)
+ * without adding a dependency. This is a strict recursive-descent
+ * parser over a DOM of JsonValue nodes:
+ *
+ *  - objects preserve insertion order (vector of pairs, not a map):
+ *    round-trip comparisons against JsonWriter output stay
+ *    byte-faithful and duplicate keys are at least observable;
+ *  - numbers are kept as double plus the raw source text, so tooling
+ *    that only compares values never loses the exact bytes;
+ *  - depth is bounded (kMaxDepth) so a corrupt artifact cannot blow
+ *    the stack.
+ *
+ * Not a general-purpose JSON library: no \u surrogate pairs beyond
+ * the BMP, no streaming, inputs are expected to be machine-written.
+ */
+
+#ifndef VGUARD_UTIL_JSON_PARSE_HPP
+#define VGUARD_UTIL_JSON_PARSE_HPP
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace vguard {
+
+/** One parsed JSON node. */
+class JsonValue
+{
+  public:
+    enum class Kind : uint8_t
+    {
+        Null,
+        Bool,
+        Number,
+        String,
+        Array,
+        Object,
+    };
+
+    Kind kind = Kind::Null;
+    bool boolean = false;
+    double number = 0.0;
+    std::string raw;     ///< number: exact source text
+    std::string str;     ///< string value
+    std::vector<JsonValue> items;  ///< array elements
+    std::vector<std::pair<std::string, JsonValue>> members;  ///< object
+
+    bool isNull() const { return kind == Kind::Null; }
+    bool isBool() const { return kind == Kind::Bool; }
+    bool isNumber() const { return kind == Kind::Number; }
+    bool isString() const { return kind == Kind::String; }
+    bool isArray() const { return kind == Kind::Array; }
+    bool isObject() const { return kind == Kind::Object; }
+
+    /** First member named @p key, or nullptr. Objects only. */
+    const JsonValue *find(std::string_view key) const;
+
+    /** find() that fatals with @p what context when absent. */
+    const JsonValue &at(std::string_view key, const char *what) const;
+};
+
+/**
+ * Parse @p text as one JSON document. Returns false (with a
+ * position/message in @p error) on any syntax violation, trailing
+ * garbage included.
+ */
+bool parseJson(std::string_view text, JsonValue &out,
+               std::string &error);
+
+/** parseJson that fatals on error, tagged with @p what. */
+JsonValue parseJsonOrDie(std::string_view text, const char *what);
+
+} // namespace vguard
+
+#endif // VGUARD_UTIL_JSON_PARSE_HPP

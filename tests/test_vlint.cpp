@@ -99,6 +99,32 @@ TEST(VlintWallclock, ProfilerHeaderIsTheWhitelistedZone)
         "det-wallclock"));
 }
 
+TEST(VlintWallclock, TracerImplementationIsWhitelisted)
+{
+    // The span tracer timestamps every record by design; both its
+    // translation units sit in the second whitelisted zone.
+    for (const char *file :
+         {"src/obs/tracing.cpp", "src/obs/tracing.hpp"})
+        EXPECT_FALSE(hasRule(
+            lintSource(file,
+                       "auto t0 = std::chrono::steady_clock::now();"),
+            "det-wallclock"))
+            << file;
+}
+
+TEST(VlintWallclock, TracingWhitelistDoesNotLeakToNeighbours)
+{
+    // The whitelist is a filename prefix on tracing.*, not a blanket
+    // pass for src/obs/ — a near-miss neighbour stays flagged.
+    for (const char *file :
+         {"src/obs/tracing_extras.cpp", "src/obs/events.cpp"})
+        EXPECT_TRUE(hasRule(
+            lintSource(file,
+                       "auto t0 = std::chrono::steady_clock::now();"),
+            "det-wallclock"))
+            << file;
+}
+
 TEST(VlintWallclock, BenchTimingHarnessesAreOutOfScope)
 {
     // Benches measure wall time by design; the rule protects src/.
