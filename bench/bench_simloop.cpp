@@ -215,7 +215,7 @@ main(int argc, char **argv)
     for (const double s : laneScales)
         lanes.push_back({referencePackage(s), iTrim});
 
-    const size_t nTrace = trace.amps.size();
+    const size_t nTrace = trace.cycles();
     // Scalar sweep baseline: lane-major PdnSim::stepMany passes, each
     // writing its own contiguous row (no scatter cost charged).
     constexpr int kSweepReps = 3;
@@ -224,7 +224,7 @@ main(int argc, char **argv)
         for (size_t lane = 0; lane < laneCount; ++lane) {
             pdn::PdnSim sim(pdn::PackageModel(lanes[lane].package));
             sim.trimToCurrent(lanes[lane].iTrim);
-            sim.stepMany(trace.amps.data(), nTrace,
+            sim.stepMany(trace.ampsData(), nTrace,
                          scalarRows.data() + lane * nTrace);
         }
     });
@@ -237,7 +237,7 @@ main(int argc, char **argv)
         while (done < nTrace) {
             const size_t chunk = std::min<size_t>(
                 VoltageSim::kBlockCycles, nTrace - done);
-            backend->stepShared(trace.amps.data() + done, chunk,
+            backend->stepShared(trace.ampsData() + done, chunk,
                                 batchedVolts.data() + done * laneCount);
             done += chunk;
         }
@@ -249,7 +249,7 @@ main(int argc, char **argv)
     {
         std::vector<double> scalarVolts(nTrace * laneCount);
         const auto backend = pdn::makeScalarBackend(lanes);
-        backend->stepShared(trace.amps.data(), nTrace,
+        backend->stepShared(trace.ampsData(), nTrace,
                             scalarVolts.data());
         lanesIdentical =
             std::memcmp(scalarVolts.data(), batchedVolts.data(),

@@ -111,8 +111,8 @@ main(int argc, char **argv)
         for (const double s : scales)
             lanes.push_back({referencePackage(s), iTrim, cfg.band,
                              cfg.histLo, cfg.histHi, cfg.histBins});
-        const auto swept = replaySweep(trace.amps.data(),
-                                       trace.amps.size(), lanes);
+        const auto swept = replaySweep(trace.ampsData(),
+                                       trace.cycles(), lanes);
 
         std::printf("\nstressmark distribution vs impedance (batched "
                     "replay, %zu lanes):\n",

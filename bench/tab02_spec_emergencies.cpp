@@ -169,12 +169,12 @@ main(int argc, char **argv)
         for (const double s : fine)
             lanes.push_back({referencePackage(s), iTrim, cfg.band,
                              cfg.histLo, cfg.histHi, cfg.histBins});
-        const auto swept = replaySweep(trace.amps.data(),
-                                       trace.amps.size(), lanes);
+        const auto swept = replaySweep(trace.ampsData(),
+                                       trace.cycles(), lanes);
 
         std::printf("\nstressmark fine impedance sweep (batched "
                     "replay, %zu lanes x %zu cycles):\n",
-                    lanes.size(), trace.amps.size());
+                    lanes.size(), trace.cycles());
         Table fineT({"impedance", "min V", "max V", "emergencies",
                      "frequency"});
         for (size_t i = 0; i < fine.size(); ++i) {

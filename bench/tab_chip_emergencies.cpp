@@ -132,7 +132,7 @@ main(int argc, char **argv)
         }
     }
 
-    const uint64_t cycles = trace.amps.size();
+    const uint64_t cycles = trace.cycles();
     const auto batched =
         runChips(chips, cycles, pdn::BackendKind::Batched);
     const auto scalar =

@@ -13,6 +13,8 @@
 
 #include "core/actuator.hpp"
 #include "core/trace_cache.hpp"
+#include "core/trace_store.hpp"
+#include "svc/sweepd.hpp"
 #include "obs/tracing.hpp"
 #include "util/jsonl.hpp"
 #include "util/logging.hpp"
@@ -121,6 +123,10 @@ CampaignEngine::forEach(size_t count,
 CampaignResult
 CampaignEngine::run(std::vector<CampaignJob> jobs) const
 {
+    if (!opts_.serverSocket.empty())
+        return svc::runCampaignOnServer(opts_.serverSocket, opts_,
+                                        std::move(jobs));
+
     // Whole-campaign wall time through the profiler's whitelisted
     // wall-clock zone (vlint det-wallclock); feeds only the
     // machine-dependent wallSeconds field, never the JSONL artifacts.
@@ -178,8 +184,28 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         }
     });
 
+    aggregateCampaignRuns(out);
+
+    out.wallSeconds = wall.seconds();
+    return out;
+}
+
+void
+aggregateCampaignRuns(CampaignResult &out)
+{
     // Serial aggregation in submission order: byte-identical results
-    // for any thread count.
+    // for any thread count (and for remote vs local execution).
+    out.totalCycles = 0;
+    out.totalCommitted = 0;
+    out.totalEmergencyCycles = 0;
+    out.totalGatedCycles = 0;
+    out.totalEnergyJ = 0.0;
+    out.minV = 0.0;
+    out.maxV = 0.0;
+    out.ipc = RunningStat{};
+    out.mergedHist.reset();
+    out.mergedStats = obs::Snapshot{};
+    out.profile = obs::ProfileData{};
     bool first = true;
     for (const RunResult &rr : out.runs) {
         out.totalCycles += rr.sim.cycles;
@@ -200,9 +226,6 @@ CampaignEngine::run(std::vector<CampaignJob> jobs) const
         out.mergedStats.merge(rr.sim.stats);
         out.profile.merge(rr.sim.profile);
     }
-
-    out.wallSeconds = wall.seconds();
-    return out;
 }
 
 namespace {
@@ -380,6 +403,24 @@ CampaignResult::statsJson() const
         out += ",\"trace_cache\":";
         out += tw.take();
     }
+    // Persistent-store counters: same machine-dependent caveat, plus
+    // they depend on what other *processes* left in the store dir.
+    {
+        const TraceStore &ts = TraceStore::instance();
+        JsonWriter tw;
+        tw.beginObject();
+        tw.field("enabled", ts.enabled());
+        tw.field("hits", ts.hits());
+        tw.field("misses", ts.misses());
+        tw.field("rejects", ts.rejects());
+        tw.field("writes", ts.writes());
+        tw.field("evicts", ts.evicts());
+        tw.field("mapped_bytes",
+                 static_cast<uint64_t>(ts.mappedBytes()));
+        tw.endObject();
+        out += ",\"trace_store\":";
+        out += tw.take();
+    }
     out += ",\"wall_seconds\":";
     out += JsonWriter::number(wallSeconds);
     out += ",\"threads\":";
@@ -466,6 +507,10 @@ parseCampaignCli(int argc, char **argv)
             cli.traceCanonicalPath = takeValue("--trace-canonical");
             if (cli.traceCanonicalPath.empty())
                 fatal("--trace-canonical: missing value");
+        } else if (arg == "--server") {
+            cli.options.serverSocket = takeValue("--server");
+            if (cli.options.serverSocket.empty())
+                fatal("--server: missing value");
         } else if (arg == "--progress") {
             cli.options.progress = true;
         } else {

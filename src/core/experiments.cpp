@@ -45,39 +45,64 @@ referenceCurrentRange()
         // measurement doubles as the trace cache's first entry: the
         // loop below walks the same (program, config, limits) stream
         // an open-loop VoltageSim::run(total) would, so the captured
-        // waveform replays byte-identically.
+        // waveform replays byte-identically. Routed through
+        // fetchOrCapture so a cold process with a warm persistent
+        // store recomputes the peak from the mmapped amps stream
+        // instead of re-running the virus — the doubles are stored
+        // exactly, so the max over the steady half is bit-identical
+        // and a warm restart performs zero captures.
         const isa::Program virus = workloads::powerVirus();
-        cpu::OoOCore core(m.cpu, virus);
-        obs::Registry reg;
-        core.registerStats(reg, "cpu");
-        model.registerStats(reg, "power", 1.0 / m.cpu.clockHz);
-        const obs::Snapshot before = reg.snapshot();
-
         const uint64_t total = 30000;
-        CapturedTrace trace;
-        trace.amps.reserve(total);
-        trace.activity.reserve(total);
-        double peak = 0.0;
-        while (core.now() < total && !core.halted()) {
-            const cpu::ActivityVector &av = core.cycle();
-            const double amps = model.current(av);
-            if (core.now() > total / 2)
-                peak = std::max(peak, amps);
-            trace.amps.push_back(amps);
-            const auto counts = obs::fpChannelCounts(av);
-            std::array<uint16_t, obs::kNumFpChannels> c16;
-            for (size_t ch = 0; ch < obs::kNumFpChannels; ++ch) {
-                VGUARD_CHECK(counts[ch] <= 0xffffu);
-                c16[ch] = static_cast<uint16_t>(counts[ch]);
+        double measuredPeak = -1.0;
+        const auto captureFn = [&]() -> CapturedTrace {
+            cpu::OoOCore core(m.cpu, virus);
+            obs::Registry reg;
+            core.registerStats(reg, "cpu");
+            model.registerStats(reg, "power", 1.0 / m.cpu.clockHz);
+            const obs::Snapshot before = reg.snapshot();
+            CapturedTrace trace;
+            trace.amps.reserve(total);
+            trace.activity.reserve(total);
+            double peak = 0.0;
+            while (core.now() < total && !core.halted()) {
+                const cpu::ActivityVector &av = core.cycle();
+                const double amps = model.current(av);
+                if (core.now() > total / 2)
+                    peak = std::max(peak, amps);
+                trace.amps.push_back(amps);
+                const auto counts = obs::fpChannelCounts(av);
+                std::array<uint16_t, obs::kNumFpChannels> c16;
+                for (size_t ch = 0; ch < obs::kNumFpChannels;
+                     ++ch) {
+                    VGUARD_CHECK(counts[ch] <= 0xffffu);
+                    c16[ch] = static_cast<uint16_t>(counts[ch]);
+                }
+                trace.activity.push_back(c16);
             }
-            trace.activity.push_back(c16);
+            trace.committed = core.stats().committed;
+            trace.halted = core.halted();
+            trace.frontEnd =
+                frontEndSubset(reg.snapshot().diff(before));
+            measuredPeak = peak;
+            return trace;
+        };
+        const CapturedTrace *t = TraceCache::instance().fetchOrCapture(
+            traceKey(virus, m.cpu, m.power, total, ~0ull), captureFn);
+        if (!t && measuredPeak < 0.0) {
+            // Cache disabled (or the entry was dropped without the
+            // capture running here): measure directly, uncached.
+            const CapturedTrace local = captureFn();
+            (void)local;
         }
-        trace.committed = core.stats().committed;
-        trace.halted = core.halted();
-        trace.frontEnd = frontEndSubset(reg.snapshot().diff(before));
-        TraceCache::instance().put(
-            traceKey(virus, m.cpu, m.power, total, ~0ull),
-            std::move(trace));
+        double peak = measuredPeak;
+        if (peak < 0.0) {
+            // Served from cache/store without running the virus:
+            // replay the identical max over the stored steady half.
+            peak = 0.0;
+            const double *amps = t->ampsData();
+            for (size_t j = total / 2; j < t->cycles(); ++j)
+                peak = std::max(peak, amps[j]);
+        }
         r.progMax = peak;
         if (r.progMax <= r.progMin)
             panic("referenceCurrentRange: power virus failed (%.1f A)",

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "obs/tracing.hpp"
+#include "util/compiler.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
 
@@ -63,7 +64,7 @@ MulticoreSim::MulticoreSim(std::vector<ChipSpec> chips,
         st->parked.resize(n);
         for (size_t i = 0; i < n; ++i)
             st->parked[i] = !chip.cores[i].trace ||
-                            chip.cores[i].trace->amps.empty();
+                            chip.cores[i].trace->cycles() == 0;
         st->coreAmps.assign(n, 0.0);
         st->cumulative.assign(n, CoreStats{});
         const double vNom = chip.package.vNominal;
@@ -102,8 +103,8 @@ MulticoreSim::coreCurrent(const ChipSpec &chip, ChipState &st,
         return slot.iGate;
     if (st.act[core] == ChipState::Act::Phantom)
         return slot.iPhantom;
-    const std::vector<double> &amps = slot.trace->amps;
-    return amps[(cycle + slot.phaseOffset) % amps.size()];
+    const double *amps = slot.trace->ampsData();
+    return amps[(cycle + slot.phaseOffset) % slot.trace->cycles()];
 }
 
 void
@@ -211,25 +212,53 @@ MulticoreSim::run(uint64_t cycles, size_t blockCycles)
     if (!anyClosedLoop_) {
         // Open loop everywhere: no actuation feedback, so the whole
         // current schedule is known up front and streams through the
-        // per-lane block kernel.
+        // per-lane block kernel. The gather runs core-outer over a
+        // contiguous per-chip column instead of calling coreCurrent
+        // per (cycle, core): activity never changes in open loop
+        // (act[] stays Run — no sensors exist on any chip), so each
+        // core contributes either a constant (parked) or wrap-split
+        // contiguous slices of its trace. Accumulating the column
+        // core-by-core in core-index order from +0.0 performs the
+        // exact same FP additions in the exact same order as the old
+        // per-cycle sum, so results stay bit-identical.
         std::vector<double> amps(blockCycles * k);
         std::vector<double> volts(blockCycles * k);
+        std::vector<double> col(blockCycles);
         uint64_t done = 0;
         while (done < cycles) {
             const size_t chunk = static_cast<size_t>(
                 std::min<uint64_t>(blockCycles, cycles - done));
-            for (size_t cyc = 0; cyc < chunk; ++cyc) {
-                double *row = amps.data() + cyc * k;
-                for (size_t c = 0; c < k; ++c) {
-                    const ChipSpec &chip = chips_[c];
-                    ChipState &st = *states_[c];
-                    // Core-index order from +0.0: a 1-core chip feeds
-                    // the rail exactly its trace value.
-                    double a = 0.0;
-                    for (size_t i = 0; i < chip.cores.size(); ++i)
-                        a += coreCurrent(chip, st, i, cycle_ + cyc);
-                    row[c] = a;
+            for (size_t c = 0; c < k; ++c) {
+                const ChipSpec &chip = chips_[c];
+                const ChipState &st = *states_[c];
+                double *VGUARD_RESTRICT acc = col.data();
+                std::fill_n(acc, chunk, 0.0);
+                for (size_t i = 0; i < chip.cores.size(); ++i) {
+                    const CoreSlot &slot = chip.cores[i];
+                    if (st.parked[i]) {
+                        const double g = slot.iGate;
+                        for (size_t cyc = 0; cyc < chunk; ++cyc)
+                            acc[cyc] += g;
+                        continue;
+                    }
+                    const double *VGUARD_RESTRICT tr =
+                        slot.trace->ampsData();
+                    const size_t len = slot.trace->cycles();
+                    size_t pos = static_cast<size_t>(
+                        (cycle_ + slot.phaseOffset) % len);
+                    size_t cyc = 0;
+                    while (cyc < chunk) {
+                        const size_t run =
+                            std::min(chunk - cyc, len - pos);
+                        for (size_t j = 0; j < run; ++j)
+                            acc[cyc + j] += tr[pos + j];
+                        cyc += run;
+                        pos = 0;
+                    }
                 }
+                double *VGUARD_RESTRICT rows = amps.data();
+                for (size_t cyc = 0; cyc < chunk; ++cyc)
+                    rows[cyc * k + c] = acc[cyc];
             }
             backend_->stepPerLane(amps.data(), chunk, volts.data());
             for (size_t cyc = 0; cyc < chunk; ++cyc)

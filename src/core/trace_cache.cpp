@@ -2,7 +2,9 @@
 
 #include <cstdlib>
 #include <cstring>
+#include <optional>
 
+#include "core/trace_store.hpp"
 #include "obs/tracing.hpp"
 #include "util/logging.hpp"
 
@@ -119,8 +121,11 @@ parseTraceCacheEnabled(const std::string &text, bool &on)
 size_t
 CapturedTrace::bytes() const
 {
-    size_t b = amps.size() * sizeof(double);
-    b += activity.size() * sizeof(std::array<uint16_t, obs::kNumFpChannels>);
+    // A store-loaded view holds no heap waveform, but its mapped pages
+    // are just as resident — charge them to the budget identically so
+    // VGUARD_TRACE_CACHE_MB means the same thing warm or cold.
+    size_t b = cycles() * sizeof(double);
+    b += cycles() * sizeof(std::array<uint16_t, obs::kNumFpChannels>);
     for (const auto &e : frontEnd.entries())
         b += sizeof(e) + e.name.size() + e.desc.size();
     return b;
@@ -253,6 +258,16 @@ TraceCache::fetchOrCapture(const std::string &key,
     // first calls on *this* key serialize on the once_flag; other keys
     // capture in parallel (referenceThresholds() pattern).
     std::call_once(e->once, [&] {
+        // A persistent-store hit replaces the whole capture: the
+        // caller's `captured` stays false, so this process accounts it
+        // as a plain hit — exactly the cold-process acceptance shape
+        // (store hits == packages, captures == 0).
+        if (std::optional<CapturedTrace> stored =
+                TraceStore::instance().load(key)) {
+            e->trace = std::move(*stored);
+            retain(e);
+            return;
+        }
         captured = true;
         captures_.fetch_add(1, std::memory_order_relaxed);
         misses_.fetch_add(1, std::memory_order_relaxed);
@@ -266,30 +281,8 @@ TraceCache::fetchOrCapture(const std::string &key,
             span.arg("cycles", uint64_t{e->trace.amps.size()})
                 .arg("bytes", uint64_t{e->trace.bytes()});
         }
-        const size_t sz = e->trace.bytes();
-        size_t resident;
-        bool kept;
-        {
-            std::lock_guard<std::mutex> lock(m_);
-            if (bytes_ + sz <= maxBytes_) {
-                bytes_ += sz;
-                ++retained_;
-                e->retained = true;
-            } else {
-                // Over budget: drop the trace but keep the (tiny)
-                // entry so the key is never captured twice.
-                e->trace = CapturedTrace{};
-            }
-            resident = bytes_;
-            kept = e->retained;
-        }
-        if (!kept) {
-            evicts_.fetch_add(1, std::memory_order_relaxed);
-            obs::TraceInstant("trace_cache.evict")
-                .arg("bytes", uint64_t{sz});
-        }
-        obs::traceCounter("trace_cache.bytes",
-                          static_cast<double>(resident));
+        TraceStore::instance().save(key, e->trace);
+        retain(e);
     });
     if (!captured) {
         hits_.fetch_add(1, std::memory_order_relaxed);
@@ -306,38 +299,31 @@ TraceCache::fetchOrCapture(const std::string &key,
 }
 
 void
-TraceCache::put(const std::string &key, CapturedTrace trace)
+TraceCache::retain(Entry *e)
 {
-    if (!enabled())
-        return;
-    Entry *e = entryFor(key);
-    std::call_once(e->once, [&] {
-        captures_.fetch_add(1, std::memory_order_relaxed);
-        misses_.fetch_add(1, std::memory_order_relaxed);
-        e->trace = std::move(trace);
-        const size_t sz = e->trace.bytes();
-        size_t resident;
-        bool kept;
-        {
-            std::lock_guard<std::mutex> lock(m_);
-            if (bytes_ + sz <= maxBytes_) {
-                bytes_ += sz;
-                ++retained_;
-                e->retained = true;
-            } else {
-                e->trace = CapturedTrace{};
-            }
-            resident = bytes_;
-            kept = e->retained;
+    const size_t sz = e->trace.bytes();
+    size_t resident;
+    bool kept;
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (bytes_ + sz <= maxBytes_) {
+            bytes_ += sz;
+            ++retained_;
+            e->retained = true;
+        } else {
+            // Over budget: drop the trace but keep the (tiny) entry so
+            // the key is never captured (or re-loaded) twice.
+            e->trace = CapturedTrace{};
         }
-        if (!kept) {
-            evicts_.fetch_add(1, std::memory_order_relaxed);
-            obs::TraceInstant("trace_cache.evict")
-                .arg("bytes", uint64_t{sz});
-        }
-        obs::traceCounter("trace_cache.bytes",
-                          static_cast<double>(resident));
-    });
+        resident = bytes_;
+        kept = e->retained;
+    }
+    if (!kept) {
+        evicts_.fetch_add(1, std::memory_order_relaxed);
+        obs::TraceInstant("trace_cache.evict").arg("bytes", uint64_t{sz});
+    }
+    obs::traceCounter("trace_cache.bytes",
+                      static_cast<double>(resident));
 }
 
 bool

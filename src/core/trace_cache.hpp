@@ -63,6 +63,14 @@ namespace vguard::core {
  * compact per-cycle activity fingerprint stream (enough to reproduce
  * emergency-event fingerprints without the core), and the front-end
  * results a replay cannot recompute.
+ *
+ * Two storage modes share this struct. A *captured* trace owns its
+ * waveform in the vectors below. A trace *loaded* from the persistent
+ * store (core/trace_store.hpp) is a zero-copy view into an mmapped
+ * file: `mapping` keeps the file mapped (type-erased so this header
+ * needs no store types) and the view pointers alias it. Readers must
+ * go through cycles()/ampsData()/activityData(), which dispatch on
+ * the mode; the vectors are the *capture-side write interface* only.
  */
 struct CapturedTrace
 {
@@ -87,7 +95,40 @@ struct CapturedTrace
      */
     obs::Snapshot frontEnd;
 
-    /** Approximate retained heap bytes (for the cache budget). */
+    /**
+     * Keep-alive for a store-loaded trace's mapped file; null for a
+     * captured trace. The deleter (set by the store) unmaps the file,
+     * so views stay valid as long as any copy of this trace lives.
+     */
+    std::shared_ptr<const void> mapping;
+    /** Mapped per-cycle waveform/fingerprints (when `mapping` set). */
+    const double *ampsView = nullptr;
+    const std::array<uint16_t, obs::kNumFpChannels> *activityView =
+        nullptr;
+    size_t viewCycles = 0;
+
+    /** Cycles in the trace, whichever mode stores them. */
+    size_t
+    cycles() const
+    {
+        return mapping ? viewCycles : amps.size();
+    }
+
+    /** Per-cycle amps, cycles() entries. */
+    const double *
+    ampsData() const
+    {
+        return mapping ? ampsView : amps.data();
+    }
+
+    /** Per-cycle fingerprint counts, cycles() entries. */
+    const std::array<uint16_t, obs::kNumFpChannels> *
+    activityData() const
+    {
+        return mapping ? activityView : activity.data();
+    }
+
+    /** Approximate retained bytes — heap or mapped — for budgets. */
     size_t bytes() const;
 };
 
@@ -140,12 +181,6 @@ class TraceCache
     const CapturedTrace *fetchOrCapture(const std::string &key,
                                         const CaptureFn &capture);
 
-    /**
-     * Seed an entry without going through a simulation (e.g. the
-     * power-virus trace measured by referenceCurrentRange()). No-op
-     * when the key already has an entry or the cache is disabled.
-     */
-    void put(const std::string &key, CapturedTrace trace);
 
     bool enabled() const;
     /** Tests/benches toggle the cache to compare against full runs. */
@@ -187,6 +222,8 @@ class TraceCache
     };
 
     Entry *entryFor(const std::string &key);
+    /** Charge e->trace to the byte budget; drop it when over. */
+    void retain(Entry *e);
 
     mutable std::mutex m_;
     std::map<std::string, std::unique_ptr<Entry>> map_;

@@ -298,12 +298,13 @@ VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
     // need the real core to actuate, which the trace has elided.
     VGUARD_CHECK(!controller_);
     VGUARD_CHECK(blockCycles > 0);
-    VGUARD_CHECK(trace.amps.size() == trace.activity.size());
+    VGUARD_CHECK(trace.mapping ||
+                 trace.amps.size() == trace.activity.size());
 
     // One Wall span for the whole replay (block loop below runs
     // thousands of cycles per iteration — no per-cycle events).
     obs::TraceSpan span("replay.run", obs::TraceClass::Wall);
-    span.arg("cycles", uint64_t{trace.amps.size()});
+    span.arg("cycles", uint64_t{trace.cycles()});
 
     VoltageSimResult res;
     res.voltageHist = Histogram(cfg_.histLo, cfg_.histHi, cfg_.histBins);
@@ -322,11 +323,12 @@ VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
     voltsBuf_.resize(blockCycles);
     obs::Profiler *p = profiling_ ? &profiler_ : nullptr;
 
-    const size_t total = trace.amps.size();
+    const size_t total = trace.cycles();
+    const auto *activity = trace.activityData();
     size_t done = 0;
     while (done < total) {
         const size_t n = std::min(blockCycles, total - done);
-        const double *amps = trace.amps.data() + done;
+        const double *amps = trace.ampsData() + done;
         {
             obs::ScopedTimer t(p, obs::Phase::Pdn);
             if (cfg_.useConvolution) {
@@ -340,7 +342,7 @@ VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
             obs::ScopedTimer t(p, obs::Phase::Events);
             for (size_t k = 0; k < n; ++k) {
                 std::array<uint32_t, obs::kNumFpChannels> counts;
-                const auto &c16 = trace.activity[done + k];
+                const auto &c16 = activity[done + k];
                 for (size_t ch = 0; ch < obs::kNumFpChannels; ++ch)
                     counts[ch] = c16[ch];
                 // Open-loop runs never gate: the default ControlState

@@ -232,24 +232,32 @@ class BatchedPdnBackend final : public PdnBackend
     void doStepPerLane(const double *amps, size_t n,
                        double *volts) override
     {
-        // Repack the K-wide cycle-major input into the stride-padded
-        // layout the packs load from; padding lanes clone the last
-        // real lane's draw (as in stepCycle) so they keep computing
-        // real, discarded values.
-        if (ampsBlk_.size() < n * stride_)
-            ampsBlk_.resize(n * stride_);
-        for (size_t cyc = 0; cyc < n; ++cyc) {
-            double *dst = ampsBlk_.data() + cyc * stride_;
-            const double *src = amps + cyc * k_;
-            for (size_t lane = 0; lane < k_; ++lane)
-                dst[lane] = src[lane];
-            for (size_t lane = k_; lane < stride_; ++lane)
-                dst[lane] = src[k_ - 1];
+        // Full packs load straight from the caller's cycle-major
+        // buffer (DoublePack::load is unaligned on every target), so
+        // only the tail pack — the one containing padding lanes —
+        // needs a repack. Padding lanes clone the last real lane's
+        // draw (as in stepCycle) so they keep computing real,
+        // discarded values. Against the old full-block repack this
+        // removes an n*stride_ copy per block, which dominated the
+        // many-core per-lane path (see bench_simloop chipBatched).
+        if (stride_ != k_) {
+            const size_t base = stride_ - simd::kPackWidth;
+            const size_t live = k_ - base;
+            if (tailBlk_.size() < n * simd::kPackWidth)
+                tailBlk_.resize(n * simd::kPackWidth);
+            for (size_t cyc = 0; cyc < n; ++cyc) {
+                double *dst = tailBlk_.data() + cyc * simd::kPackWidth;
+                const double *src = amps + cyc * k_;
+                for (size_t lane = 0; lane < live; ++lane)
+                    dst[lane] = src[base + lane];
+                for (size_t lane = live; lane < simd::kPackWidth; ++lane)
+                    dst[lane] = src[k_ - 1];
+            }
         }
         if (ns_ == 3)
-            perLaneKernel<3>(n, volts);
+            perLaneKernel<3>(amps, n, volts);
         else
-            perLaneKernel<0>(n, volts);
+            perLaneKernel<0>(amps, n, volts);
     }
 
   private:
@@ -365,11 +373,14 @@ class BatchedPdnBackend final : public PdnBackend
     /**
      * Per-lane-trace block kernel: identical to sharedKernel — same
      * loop structure, same term order, so the bit-identity argument
-     * carries over unchanged — except u1 is a per-lane pack load from
-     * the repacked ampsBlk_ instead of a broadcast.
+     * carries over unchanged — except u1 is a per-lane pack load
+     * instead of a broadcast: straight from the caller's cycle-major
+     * buffer for full packs, from the padded tailBlk_ for the one
+     * pack that straddles k_. Either way the loaded doubles are the
+     * exact values the old full-block repack staged.
      */
     template <unsigned NS_HINT>
-    void perLaneKernel(size_t n, double *volts)
+    void perLaneKernel(const double *amps, size_t n, double *volts)
     {
         using simd::DoublePack;
         const unsigned ns = NS_HINT ? NS_HINT : ns_;
@@ -394,9 +405,14 @@ class BatchedPdnBackend final : public PdnBackend
             const size_t live = full ? simd::kPackWidth : k_ - base;
             double tail[simd::kPackWidth];
 
+            // Loop-invariant input addressing: (pointer, stride)
+            // selected per pack keeps the cycle loop branch-free.
+            const double *uSrc = full ? amps + base : tailBlk_.data();
+            const size_t uStride = full ? k_ : simd::kPackWidth;
+
             for (size_t cyc = 0; cyc < n; ++cyc) {
                 const DoublePack u1 =
-                    DoublePack::load(&ampsBlk_[cyc * stride_ + base]);
+                    DoublePack::load(uSrc + cyc * uStride);
 
                 DoublePack out = DoublePack::zero();
                 for (unsigned i = 0; i < ns; ++i)
@@ -489,7 +505,7 @@ class BatchedPdnBackend final : public PdnBackend
 
     std::vector<double> ampsPad_;   ///< stepCycle input scratch
     std::vector<double> voltsPad_;  ///< stepCycle output scratch
-    std::vector<double> ampsBlk_;   ///< stepPerLane repack scratch
+    std::vector<double> tailBlk_;   ///< stepPerLane tail-pack scratch
 };
 
 } // namespace

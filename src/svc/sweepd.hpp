@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Sharded sweep service: a long-lived daemon that runs experiment
+ * campaigns on behalf of short-lived client processes.
+ *
+ * Motivation: the persistent trace store (core/trace_store.hpp) makes
+ * a cold process's *captures* cheap, but each client still rebuilds
+ * the in-memory trace cache and threshold solutions, and still mmaps
+ * and validates every store file. A daemon holds all of that resident
+ * across campaigns, so a cold client gets warm-sweep latency for the
+ * price of one Unix-socket round trip.
+ *
+ * Protocol (AF_UNIX SOCK_STREAM, one campaign per connection):
+ * length-prefixed frames of `u32 type` + `u64 bodyBytes` + body, all
+ * fields little-endian native (client and daemon share a machine by
+ * construction of AF_UNIX). Frame types:
+ *
+ *   1 kCampaignRequest  client → server: protocol version, campaign
+ *                       seed / deriveSeeds / profiling / threads
+ *                       options, then every job (name, program
+ *                       instructions, RunSpec fields, compare flag).
+ *   2 kRunResult        server → client: one finished run — index,
+ *                       name, resolved spec, full VoltageSimResult
+ *                       (scalars, voltage histogram, stats snapshot
+ *                       via core::encodeSnapshot, emergency events,
+ *                       profile), optional baseline comparison.
+ *                       Streamed in submission order.
+ *   3 kSummary          server → client: wall seconds + threads used
+ *                       (the only machine-dependent fields).
+ *   4 kError            server → client: human-readable reason; the
+ *                       connection then closes.
+ *   5 kDone             server → client: end of campaign.
+ *
+ * Determinism: the daemon executes the exact CampaignEngine the client
+ * would have (seeds derive from (campaignSeed, index)), results stream
+ * in submission order, and the client re-runs the same submission-order
+ * aggregation (core::aggregateCampaignRuns) over the rebuilt runs — so
+ * campaign artifacts (JSONL, stats, events) are byte-identical to a
+ * local run at any worker count on either side.
+ *
+ * All raw socket syscalls in the tree are confined to this TU and
+ * trace_store.cpp (vlint `raw-io` rule).
+ */
+
+#ifndef VGUARD_SVC_SWEEPD_HPP
+#define VGUARD_SVC_SWEEPD_HPP
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace vguard::svc {
+
+/** Wire protocol version spoken by this build. */
+constexpr uint32_t kSweepProtocolVersion = 1;
+
+/**
+ * The sweep daemon: owns a Unix listening socket and serves campaign
+ * requests sequentially (one accept loop; campaigns themselves are
+ * internally parallel). Usable in-process by tests and wrapped by the
+ * `vguard-sweepd` binary for real deployments.
+ */
+class SweepServer
+{
+  public:
+    /**
+     * @param socketPath  filesystem path to bind (a stale socket file
+     *                    from a dead daemon is unlinked first)
+     * @param baseOpts    defaults for fields the request leaves to the
+     *                    daemon: worker threads (request threads == 0)
+     *                    and progress reporting. Request-side options
+     *                    (seed, deriveSeeds, profiling) always win;
+     *                    serverSocket is ignored (a daemon never
+     *                    forwards to another daemon).
+     */
+    explicit SweepServer(std::string socketPath,
+                         core::CampaignEngine::Options baseOpts = {});
+    ~SweepServer();
+
+    SweepServer(const SweepServer &) = delete;
+    SweepServer &operator=(const SweepServer &) = delete;
+
+    /**
+     * Bind + listen + start the accept thread. Fatal on bind/listen
+     * failure (bad path, permissions, path too long for sun_path).
+     */
+    void start();
+
+    /**
+     * Stop accepting, close the listening socket, join the accept
+     * thread and unlink the socket file. Idempotent. A campaign in
+     * flight finishes its connection first.
+     */
+    void stop();
+
+    const std::string &socketPath() const { return socketPath_; }
+
+    /** Campaigns served to completion so far. */
+    uint64_t campaignsServed() const { return campaignsServed_; }
+
+  private:
+    void acceptLoop();
+    void serveConnection(int fd);
+
+    std::string socketPath_;
+    core::CampaignEngine::Options baseOpts_;
+    int listenFd_ = -1;
+    std::thread accept_;
+    bool running_ = false;
+    std::atomic<uint64_t> campaignsServed_{0};
+};
+
+/**
+ * Run a campaign on the daemon listening at @p socketPath: connect,
+ * ship @p opts + @p jobs, rebuild every RunResult from the reply
+ * stream, and re-aggregate locally in submission order. The returned
+ * CampaignResult is byte-identical (jsonl/statsJson "campaign" and
+ * "stats" zones/eventsJsonl) to CampaignEngine(opts).run(jobs) run
+ * locally. Fatal on connection failure or a malformed/short reply
+ * stream; a daemon-side kError frame is also fatal with its reason.
+ * Called by CampaignEngine::run when opts.serverSocket is set — do not
+ * call with opts.serverSocket cleared expectations; the daemon always
+ * executes locally.
+ */
+core::CampaignResult
+runCampaignOnServer(const std::string &socketPath,
+                    const core::CampaignEngine::Options &opts,
+                    std::vector<core::CampaignJob> jobs);
+
+} // namespace vguard::svc
+
+#endif // VGUARD_SVC_SWEEPD_HPP

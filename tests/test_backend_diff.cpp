@@ -321,10 +321,10 @@ TEST(BackendDiff, ReplaySweepMatchesRunReplay)
                          baseCfg.histLo, baseCfg.histHi,
                          baseCfg.histBins});
 
-    const auto swept = replaySweep(trace.amps.data(), trace.amps.size(),
+    const auto swept = replaySweep(trace.ampsData(), trace.cycles(),
                                    lanes, BackendKind::Batched);
     const auto sweptScalar = replaySweep(
-        trace.amps.data(), trace.amps.size(), lanes, BackendKind::Scalar);
+        trace.ampsData(), trace.cycles(), lanes, BackendKind::Scalar);
 
     for (size_t i = 0; i < scales.size(); ++i) {
         RunSpec laneSpec = spec;

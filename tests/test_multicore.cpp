@@ -158,7 +158,7 @@ TEST(Multicore, SingleCoreChipMatchesRunReplayBitIdentically)
     for (const BackendKind kind :
          {BackendKind::Scalar, BackendKind::Batched}) {
         const auto res =
-            runChips({chip}, trace.amps.size(), kind);
+            runChips({chip}, trace.cycles(), kind);
         ASSERT_EQ(res.size(), 1u);
         const ChipResult &r = res[0];
         EXPECT_EQ(golden.cycles, r.cycles);

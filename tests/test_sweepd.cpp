@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the sweep service (svc/sweepd): a campaign shipped to an
+ * in-process SweepServer over its Unix socket must reproduce the local
+ * CampaignEngine's artifacts byte for byte — at any client-requested
+ * worker count, including comparison jobs, emergency events and the
+ * merged stats — and the daemon must honour its own default thread
+ * count when the request leaves threads unset.
+ *
+ * Labeled `campaign` so the suite runs under TSan with the rest of
+ * the campaign concurrency tests.
+ */
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/campaign.hpp"
+#include "core/experiments.hpp"
+#include "svc/sweepd.hpp"
+#include "workloads/spec_proxy.hpp"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace vguard;
+using namespace vguard::core;
+
+/** Short unique socket path (sun_path is ~108 bytes). */
+std::string
+socketPathFor(const char *tag)
+{
+    return (fs::temp_directory_path() /
+            (std::string("vg-sweepd-") + tag + "-" +
+             std::to_string(::getpid()) + ".sock"))
+        .string();
+}
+
+/**
+ * A mixed mini-campaign: open-loop legs that share trace-cache keys
+ * across packages, a convolution leg, a closed-loop leg, and one
+ * comparison job (the full wire shape: baseline + controlled).
+ */
+std::vector<CampaignJob>
+mixedJobs()
+{
+    std::vector<CampaignJob> jobs;
+    for (double scale : {1.5, 2.5}) {
+        RunSpec rs;
+        rs.impedanceScale = scale;
+        rs.controllerEnabled = false;
+        rs.maxCycles = 1409; // key unique to this suite
+        jobs.push_back({"gzip-open-s" + std::to_string(scale),
+                        workloads::buildSpecProxy("gzip"), rs, false});
+    }
+    RunSpec conv;
+    conv.controllerEnabled = false;
+    conv.useConvolution = true;
+    conv.maxCycles = 1409;
+    jobs.push_back({"swim-conv", workloads::buildSpecProxy("swim"),
+                    conv, false});
+    RunSpec ctl;
+    ctl.controllerEnabled = true;
+    ctl.delayCycles = 2;
+    ctl.sensorError = 0.004;
+    ctl.maxCycles = 1409;
+    jobs.push_back({"gzip-ctl", workloads::buildSpecProxy("gzip"), ctl,
+                    false});
+    RunSpec cmp = ctl;
+    cmp.actuator = ActuatorKind::FuDl1;
+    jobs.push_back({"mcf-compare", workloads::buildSpecProxy("mcf"),
+                    cmp, true});
+    return jobs;
+}
+
+TEST(SweepService, ByteIdenticalToLocalAtAnyWorkerCount)
+{
+    CampaignEngine::Options base;
+    base.campaignSeed = 0x5eedb0a7;
+
+    CampaignEngine::Options localOpts = base;
+    localOpts.threads = 2;
+    const CampaignResult local =
+        CampaignEngine(localOpts).run(mixedJobs());
+    ASSERT_EQ(local.runs.size(), mixedJobs().size());
+
+    const std::string sock = socketPathFor("ident");
+    svc::SweepServer server(sock);
+    server.start();
+
+    for (unsigned threads : {1u, 2u, 8u}) {
+        CampaignEngine::Options o = base;
+        o.threads = threads;
+        o.serverSocket = sock;
+        const CampaignResult remote =
+            CampaignEngine(o).run(mixedJobs());
+
+        EXPECT_EQ(remote.jsonl(), local.jsonl())
+            << "threads=" << threads;
+        EXPECT_EQ(remote.mergedStats.json(), local.mergedStats.json())
+            << "threads=" << threads;
+        EXPECT_EQ(remote.eventsJsonl(), local.eventsJsonl())
+            << "threads=" << threads;
+        EXPECT_EQ(remote.campaignSeed, local.campaignSeed);
+        // The engine caps workers at the job count on the daemon too.
+        EXPECT_EQ(remote.threadsUsed,
+                  std::min<unsigned>(threads, local.runs.size()));
+
+        // The comparison job's baseline must survive the wire intact.
+        const RunResult &rr = remote.runs.back();
+        ASSERT_TRUE(rr.comparison.has_value());
+        const RunResult &lr = local.runs.back();
+        EXPECT_EQ(rr.comparison->baseline.energyJ,
+                  lr.comparison->baseline.energyJ);
+        EXPECT_EQ(rr.comparison->baseline.stats.json(),
+                  lr.comparison->baseline.stats.json());
+        EXPECT_EQ(rr.comparison->perfLossPct,
+                  lr.comparison->perfLossPct);
+        EXPECT_EQ(rr.comparison->energyIncreasePct,
+                  lr.comparison->energyIncreasePct);
+    }
+    EXPECT_EQ(server.campaignsServed(), 3u);
+
+    server.stop();
+    EXPECT_FALSE(fs::exists(sock)) << "stop() must unlink the socket";
+}
+
+TEST(SweepService, ServerDefaultThreadsWhenRequestLeavesThemUnset)
+{
+    CampaignEngine::Options serverDefaults;
+    serverDefaults.threads = 3;
+    const std::string sock = socketPathFor("threads");
+    svc::SweepServer server(sock, serverDefaults);
+    server.start();
+
+    CampaignEngine::Options o;
+    o.serverSocket = sock;
+    o.threads = 0; // daemon's choice
+    const CampaignResult res = CampaignEngine(o).run(mixedJobs());
+    EXPECT_EQ(res.threadsUsed, 3u)
+        << "threads=0 must defer to the daemon's default";
+
+    server.stop();
+}
+
+TEST(SweepService, ServesCampaignsBackToBackOnOneSocket)
+{
+    const std::string sock = socketPathFor("serial");
+    svc::SweepServer server(sock);
+    server.start();
+
+    CampaignEngine::Options o;
+    o.serverSocket = sock;
+    o.threads = 2;
+    const CampaignResult first = CampaignEngine(o).run(mixedJobs());
+    const CampaignResult second = CampaignEngine(o).run(mixedJobs());
+    EXPECT_EQ(first.jsonl(), second.jsonl());
+    EXPECT_EQ(server.campaignsServed(), 2u);
+
+    server.stop();
+}
+
+} // namespace

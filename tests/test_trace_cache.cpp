@@ -27,6 +27,7 @@
 #include "core/campaign.hpp"
 #include "core/experiments.hpp"
 #include "core/trace_cache.hpp"
+#include "core/trace_store.hpp"
 #include "core/voltage_sim.hpp"
 #include "pdn/package_model.hpp"
 #include "workloads/kernels.hpp"
@@ -227,6 +228,9 @@ TEST(TraceCacheConcurrency, ConcurrentFirstCallsCaptureOnce)
 {
     TraceCache &tc = TraceCache::instance();
     tc.setEnabled(true);
+    // A configured persistent store would serve this key from disk
+    // (a hit instead of the capture this test counts) — disable it.
+    TraceStore::instance().configure("", 0);
     // Warm the shared experiment caches first (the power-virus trace
     // seeded by referenceCurrentRange() counts as a capture), so the
     // deltas below belong to this test's key alone.
@@ -300,6 +304,8 @@ TEST(TraceCacheCampaign, ByteIdenticalAcrossThreadsAndCacheToggle)
 {
     TraceCache &tc = TraceCache::instance();
     tc.setEnabled(true);
+    // Store hits would replace the captures this test counts below.
+    TraceStore::instance().configure("", 0);
     // Warm the lazy experiment caches (the virus-trace put counts as a
     // capture) so the deltas below belong to this campaign's keys.
     referenceCurrentRange();

@@ -241,6 +241,46 @@ TEST(VlintSimdIntrinsic, FloatStaysBannedInsideWrapper)
                         "fp-float"));
 }
 
+// -------------------------------------------------------------- raw-io
+
+TEST(VlintRawIo, FlagsRawSyscallsOutsideSanctionedTus)
+{
+    EXPECT_TRUE(hasRule(
+        lintSource("src/core/x.cpp",
+                   "void *p = mmap(nullptr, n, prot, flags, fd, 0);"),
+        "raw-io"));
+    EXPECT_TRUE(hasRule(lintSource("tools/foo/main.cpp",
+                                   "int s = ::socket(AF_UNIX, t, 0);"),
+                        "raw-io"));
+    EXPECT_TRUE(hasRule(lintSource("src/svc/other.cpp",
+                                   "int c = accept4(fd, a, l, f);"),
+                        "raw-io"));
+}
+TEST(VlintRawIo, StoreAndSweepdTusAreExempt)
+{
+    EXPECT_FALSE(hasRule(
+        lintSource("src/core/trace_store.cpp",
+                   "void *p = mmap(nullptr, n, prot, flags, fd, 0);"),
+        "raw-io"));
+    EXPECT_FALSE(hasRule(lintSource("src/svc/sweepd.cpp",
+                                    "int s = ::socket(AF_UNIX, t, 0);"),
+                         "raw-io"));
+}
+TEST(VlintRawIo, MemberAndQualifiedCallsAreNotSyscalls)
+{
+    EXPECT_FALSE(hasRule(lintSource("src/core/x.cpp",
+                                    "db.connect(url); q->accept(v);"),
+                         "raw-io"));
+    EXPECT_FALSE(hasRule(lintSource("src/core/x.cpp",
+                                    "auto f = sig::connect(slot);"),
+                         "raw-io"));
+    // Comments and strings never fire (token-stream rule).
+    EXPECT_FALSE(hasRule(lintSource("src/core/x.cpp",
+                                    "// call socket(2) by hand\n"
+                                    "const char *s = \"mmap(\";"),
+                         "raw-io"));
+}
+
 // ---------------------------------------------------------- fp-pow-int
 
 TEST(VlintPowInt, FlagsIntegerExponent)

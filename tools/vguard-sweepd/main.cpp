@@ -1,0 +1,122 @@
+/**
+ * @file
+ * vguard-sweepd: the long-lived sweep daemon.
+ *
+ * Binds the sweep service (svc/sweepd.hpp) to a Unix socket and serves
+ * campaign requests until SIGINT/SIGTERM. Because the process stays
+ * alive between campaigns, the in-memory trace cache, the threshold-
+ * solution cache and the persistent trace store stay resident — a cold
+ * client pointing `--server` at this socket gets warm-sweep latency
+ * without simulating or even mmapping anything itself.
+ *
+ *   vguard-sweepd --socket PATH [--threads N]
+ *                 [--store DIR] [--store-mb N]
+ *
+ * --threads    default worker count for requests that leave it to the
+ *              daemon (0 = hardware concurrency)
+ * --store      configure the persistent trace store at DIR (otherwise
+ *              the VGUARD_TRACE_STORE environment applies)
+ * --store-mb   size budget for --store (default 4096)
+ */
+
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/trace_store.hpp"
+#include "svc/sweepd.hpp"
+#include "util/logging.hpp"
+
+namespace {
+
+/** Strict non-negative decimal parse; fatal on anything else. */
+unsigned long
+parseCount(const char *flag, const std::string &text)
+{
+    if (text.empty() || text.size() > 9)
+        vguard::fatal("%s: bad count '%s'", flag, text.c_str());
+    unsigned long v = 0;
+    for (char c : text) {
+        if (c < '0' || c > '9')
+            vguard::fatal("%s: bad count '%s'", flag, text.c_str());
+        v = v * 10 + static_cast<unsigned long>(c - '0');
+    }
+    return v;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: vguard-sweepd --socket PATH [--threads N] "
+                 "[--store DIR] [--store-mb N]\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string socketPath;
+    std::string storeDir;
+    unsigned long storeMb = 4096;
+    vguard::core::CampaignEngine::Options opts;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&](const char *flag) -> std::string {
+            if (i + 1 >= argc)
+                vguard::fatal("%s: missing value", flag);
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            socketPath = value("--socket");
+        } else if (arg == "--threads") {
+            opts.threads = static_cast<unsigned>(
+                parseCount("--threads", value("--threads")));
+        } else if (arg == "--store") {
+            storeDir = value("--store");
+        } else if (arg == "--store-mb") {
+            storeMb = parseCount("--store-mb", value("--store-mb"));
+        } else if (arg == "--help" || arg == "-h") {
+            usage();
+            return 0;
+        } else {
+            usage();
+            vguard::fatal("unknown argument: %s", arg.c_str());
+        }
+    }
+    if (socketPath.empty()) {
+        usage();
+        vguard::fatal("--socket is required");
+    }
+
+    if (!storeDir.empty())
+        vguard::core::TraceStore::instance().configure(
+            storeDir, storeMb * 1024 * 1024);
+
+    // Block the shutdown signals before the accept thread starts so
+    // they are delivered to sigwait() below, not to a default handler
+    // on an arbitrary thread.
+    sigset_t set;
+    sigemptyset(&set);
+    sigaddset(&set, SIGINT);
+    sigaddset(&set, SIGTERM);
+    pthread_sigmask(SIG_BLOCK, &set, nullptr);
+
+    vguard::svc::SweepServer server(socketPath, opts);
+    server.start();
+    vguard::inform("vguard-sweepd: serving campaigns on %s",
+                   socketPath.c_str());
+
+    int sig = 0;
+    sigwait(&set, &sig);
+    vguard::inform("vguard-sweepd: %s, shutting down after %llu "
+                   "campaign(s)",
+                   sig == SIGINT ? "SIGINT" : "SIGTERM",
+                   static_cast<unsigned long long>(
+                       server.campaignsServed()));
+    server.stop();
+    return 0;
+}

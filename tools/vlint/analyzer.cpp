@@ -308,6 +308,61 @@ ruleSimdIntrinsic(FileCtx &ctx)
     }
 }
 
+// ------------------------------------------------------------ raw-io
+
+void
+ruleRawIo(FileCtx &ctx)
+{
+    // The persistent trace store and the sweep daemon are the only
+    // sanctioned raw-syscall zones: trace_store.cpp owns every mmap/
+    // fsync/rename dance (crash-safety and the zero-copy view depend
+    // on that exact sequence), and sweepd.cpp owns the Unix-socket
+    // protocol. Raw descriptors anywhere else bypass both the
+    // store's corruption handling and the frame protocol's
+    // versioning. `bind`/`open`/`close`/`read`/`write`/`unlink` are
+    // deliberately not listed — they collide with ordinary C++
+    // identifiers (stats-registry bind lambdas, fstream::open,
+    // std::filesystem) — but no socket server or mapping exists
+    // without `socket()`/`accept()`/`mmap()`, so the list below still
+    // confines any new raw-io code to the two TUs.
+    if (!startsWith(ctx.relpath, "src/") &&
+        !startsWith(ctx.relpath, "tools/"))
+        return;
+    if (ctx.relpath == "src/core/trace_store.cpp" ||
+        ctx.relpath == "src/svc/sweepd.cpp")
+        return;
+    static const std::set<std::string> banned = {
+        "mmap",  "munmap",    "msync",    "socket", "listen",
+        "accept", "accept4",  "connect",  "fsync",  "ftruncate",
+        "futimens", "pread",  "pwrite"};
+    const auto &toks = ctx.lf.tokens;
+    for (size_t i = 0; i < toks.size(); ++i) {
+        if (toks[i].kind != Tok::Ident || !banned.count(toks[i].text) ||
+            !isPunct(tokenAt(ctx, i + 1), '('))
+            continue;
+        // Member calls (x.connect(...), p->accept(...)) are someone
+        // else's API, not a syscall.
+        if (i >= 1 && (isPunct(&toks[i - 1], '.') ||
+                       (i >= 2 && isPunct(&toks[i - 1], '>') &&
+                        isPunct(&toks[i - 2], '-'))))
+            continue;
+        // Qualified names: `ns::connect(...)` is a library call, but
+        // the global-scope spelling `::connect(...)` is exactly the
+        // raw syscall this rule exists to catch.
+        if (i >= 2 && isPunct(&toks[i - 1], ':') &&
+            isPunct(&toks[i - 2], ':')) {
+            const Token *q = i >= 3 ? &toks[i - 3] : nullptr;
+            if (q && q->kind == Tok::Ident)
+                continue;
+        }
+        ctx.add("raw-io", toks[i].line,
+                "raw I/O syscall '" + toks[i].text +
+                    "()' outside src/core/trace_store.cpp and "
+                    "src/svc/sweepd.cpp; go through the trace store "
+                    "or the sweepd protocol layer");
+    }
+}
+
 // -------------------------------------------------------- fp-pow-int
 
 void
@@ -699,6 +754,9 @@ ruleCatalog()
              "float types/literals in src/{linsys,pdn} double paths"},
             {"simd-intrinsic",
              "raw SIMD intrinsics outside src/util/simd.hpp"},
+            {"raw-io",
+             "raw mmap/socket/descriptor syscalls outside "
+             "src/core/trace_store.cpp and src/svc/sweepd.cpp"},
             {"fp-pow-int",
              "std::pow with an integer-literal exponent in src/"},
             {"thread-static",
@@ -744,6 +802,7 @@ lintSource(const std::string &relpath, const std::string &content,
     ruleDetUnordered(ctx);
     ruleFpFloat(ctx);
     ruleSimdIntrinsic(ctx);
+    ruleRawIo(ctx);
     ruleFpPowInt(ctx);
     ruleThreadStatic(ctx);
     ruleMetricName(ctx);

@@ -94,7 +94,7 @@ struct Options
 {
     std::string root;  ///< repository root to lint
     std::vector<std::string> subdirs = {"src", "bench", "examples",
-                                        "tests"};
+                                        "tests", "tools"};
     std::string baselinePath;  ///< empty: <root>/tools/vlint/baseline.txt
 };
 
