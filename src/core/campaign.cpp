@@ -12,9 +12,9 @@
 #include <thread>
 
 #include "core/actuator.hpp"
+#include "core/sweep_client.hpp"
 #include "core/trace_cache.hpp"
 #include "core/trace_store.hpp"
-#include "svc/sweepd.hpp"
 #include "obs/tracing.hpp"
 #include "util/jsonl.hpp"
 #include "util/logging.hpp"
@@ -124,8 +124,8 @@ CampaignResult
 CampaignEngine::run(std::vector<CampaignJob> jobs) const
 {
     if (!opts_.serverSocket.empty())
-        return svc::runCampaignOnServer(opts_.serverSocket, opts_,
-                                        std::move(jobs));
+        return runCampaignOnServer(opts_.serverSocket, opts_,
+                                   std::move(jobs));
 
     // Whole-campaign wall time through the profiler's whitelisted
     // wall-clock zone (vlint det-wallclock); feeds only the

@@ -141,7 +141,8 @@ class CampaignEngine
         bool progress = false;
         /**
          * When non-empty, run() ships the whole campaign to the sweep
-         * daemon listening on this Unix socket (svc/sweepd.hpp)
+         * daemon listening on this Unix socket (via the client in
+         * core/sweep_client.hpp; daemon in svc/sweepd.hpp)
          * instead of simulating locally, and rebuilds the result from
          * the reply stream. The daemon keeps the trace cache,
          * threshold solutions and persistent store resident, so a

@@ -260,7 +260,16 @@ MulticoreSim::run(uint64_t cycles, size_t blockCycles)
                 for (size_t cyc = 0; cyc < chunk; ++cyc)
                     rows[cyc * k + c] = acc[cyc];
             }
-            backend_->stepPerLane(amps.data(), chunk, volts.data());
+            {
+                // Per-block span, emitted at the core layer (pdn sits
+                // below obs and must not include the tracer).
+                obs::TraceSpan span("pdn.backend.step_per_lane",
+                                    obs::TraceClass::Wall);
+                span.arg("cycles", uint64_t{chunk})
+                    .arg("lanes", uint64_t{k});
+                backend_->stepPerLane(amps.data(), chunk,
+                                      volts.data());
+            }
             for (size_t cyc = 0; cyc < chunk; ++cyc)
                 for (size_t c = 0; c < k; ++c)
                     accountCycle(c, volts[cyc * k + c], results);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/tracing.hpp"
+
 #include "util/logging.hpp"
 
 namespace vguard::core {
@@ -51,7 +53,16 @@ replaySweep(const double *amps, size_t n,
     size_t done = 0;
     while (done < n) {
         const size_t chunk = std::min(blockCycles, n - done);
-        backend->stepShared(amps + done, chunk, volts.data());
+        {
+            // One Wall-class span per block (thousands of cycles, so
+            // the span cost vanishes). Emitted here rather than in
+            // the backend: pdn sits below obs in the layering.
+            obs::TraceSpan span("pdn.backend.step_shared",
+                                obs::TraceClass::Wall);
+            span.arg("cycles", uint64_t{chunk})
+                .arg("lanes", uint64_t{k});
+            backend->stepShared(amps + done, chunk, volts.data());
+        }
         for (size_t cyc = 0; cyc < chunk; ++cyc) {
             const double *row = volts.data() + cyc * k;
             for (size_t lane = 0; lane < k; ++lane) {

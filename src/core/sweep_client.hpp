@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sweep-service wire protocol and the campaign client.
+ *
+ * The protocol (length-prefixed frames over AF_UNIX SOCK_STREAM, one
+ * campaign per connection) is documented in svc/sweepd.hpp next to the
+ * daemon that serves it. The codec and the client live *here*, in
+ * core, because CampaignEngine::run dispatches to a daemon whenever
+ * Options::serverSocket is set — making the client a core concern —
+ * and the layering DAG (vlint `layer-dag`, DESIGN.md §8) forbids core
+ * from including svc. The daemon reuses this header from above
+ * (svc > core is a forward edge).
+ *
+ * This TU, trace_store.cpp and svc/sweepd.cpp are the only places in
+ * the tree allowed to make raw fd/socket syscalls (vlint `raw-io`).
+ */
+
+#ifndef VGUARD_CORE_SWEEP_CLIENT_HPP
+#define VGUARD_CORE_SWEEP_CLIENT_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/campaign.hpp"
+
+namespace vguard::core {
+
+/** Wire protocol version spoken by this build. */
+constexpr uint32_t kSweepProtocolVersion = 1;
+
+/**
+ * Wire-level pieces shared by the client below and the SweepServer
+ * daemon (svc/sweepd.cpp). Everything operates on an already-connected
+ * stream fd; only the client and the daemon open sockets.
+ */
+namespace sweepwire {
+
+enum FrameType : uint32_t {
+    kCampaignRequest = 1,
+    kRunResult = 2,
+    kSummary = 3,
+    kError = 4,
+    kDone = 5,
+};
+
+/** Append little-endian scalars to a frame body (summary frames). */
+void putU32(std::string &out, uint32_t v);
+void putF64(std::string &out, double v);
+
+/** Send one `u32 type + u64 len + body` frame; false on write error. */
+bool sendFrame(int fd, uint32_t type, const std::string &body);
+
+/**
+ * Read one frame. Returns false on transport error; a clean EOF
+ * before any header byte additionally sets @p cleanEof.
+ */
+bool recvFrame(int fd, uint32_t &type, std::string &body, bool *cleanEof);
+
+/** A decoded kCampaignRequest body. */
+struct CampaignRequest
+{
+    CampaignEngine::Options options;  ///< serverSocket unused
+    std::vector<CampaignJob> jobs;
+};
+
+/** Decode a campaign request; on failure @p why says what broke. */
+bool decodeRequest(const std::string &body, CampaignRequest &req,
+                   std::string &why);
+
+/** Encode one finished run as a kRunResult body. */
+std::string encodeRunResult(const RunResult &rr);
+
+/** Decode a kSummary body into @p result; false on malformed body. */
+bool decodeSummary(const std::string &body, CampaignResult &result);
+
+} // namespace sweepwire
+
+/**
+ * Run a campaign on the daemon listening at @p socketPath: connect,
+ * ship @p opts + @p jobs, rebuild every RunResult from the reply
+ * stream, and re-aggregate locally in submission order. The returned
+ * CampaignResult is byte-identical (jsonl/statsJson "campaign" and
+ * "stats" zones/eventsJsonl) to CampaignEngine(opts).run(jobs) run
+ * locally. Fatal on connection failure or a malformed/short reply
+ * stream; a daemon-side kError frame is also fatal with its reason.
+ * Called by CampaignEngine::run when opts.serverSocket is set.
+ */
+CampaignResult
+runCampaignOnServer(const std::string &socketPath,
+                    const CampaignEngine::Options &opts,
+                    std::vector<CampaignJob> jobs);
+
+} // namespace vguard::core
+
+#endif // VGUARD_CORE_SWEEP_CLIENT_HPP

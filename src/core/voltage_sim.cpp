@@ -291,6 +291,7 @@ VoltageSim::run(uint64_t maxCycles, uint64_t maxInsts,
     return res;
 }
 
+// vlint: hot
 VoltageSimResult
 VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
 {
@@ -320,6 +321,7 @@ VoltageSim::runReplay(const CapturedTrace &trace, size_t blockCycles)
     acc.vHiBound = vNominal_ * (1.0 + cfg_.band);
     acc.dt = 1.0 / cfg_.cpu.clockHz;
 
+    // vlint: allow(alloc-hot) block scratch sized once per replay
     voltsBuf_.resize(blockCycles);
     obs::Profiler *p = profiling_ ? &profiler_ : nullptr;
 

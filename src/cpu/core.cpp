@@ -470,65 +470,4 @@ OoOCore::finalizeActivity()
     av_.busyFpMultDiv = pool_.busyCount(FuGroup::FpMultDiv, now_);
 }
 
-void
-OoOCore::registerStats(obs::Registry &r,
-                       const std::string &prefix) const
-{
-    auto bind = [&](const char *name, const char *desc,
-                    const uint64_t &field) {
-        r.derivedCounter(prefix + "." + name, desc,
-                         [&field] { return field; });
-    };
-
-    const CoreStats &s = stats_;
-    bind("cycles", "simulated cycles", s.cycles);
-    bind("fetch.insts", "instructions fetched", s.fetched);
-    bind("fetch.stall_branch", "fetch cycles lost to mispredicts",
-         s.fetchStallBranch);
-    bind("fetch.stall_icache", "fetch cycles lost to I-misses",
-         s.fetchStallIcache);
-    bind("fetch.stall_gate", "fetch cycles lost to IL1 gating",
-         s.fetchStallGate);
-    bind("dispatch.insts", "instructions dispatched", s.dispatched);
-    bind("dispatch.stall_window", "dispatch stalls on full RUU/LSQ",
-         s.dispatchStallWindow);
-    bind("issue.insts", "instructions issued", s.issued);
-    bind("issue.gate_stalls", "ready ops blocked by FU gating",
-         s.issueGateStalls);
-    bind("commit.insts", "instructions committed", s.committed);
-    bind("commit.gate_stalls", "commit blocked by DL1 gating",
-         s.commitGateStalls);
-    bind("mem.loads", "loads committed", s.loads);
-    bind("mem.stores", "stores committed", s.stores);
-    bind("mem.lsq_forwards", "store-to-load forwards", s.lsqForwards);
-    bind("branches.count", "branches committed", s.branches);
-    bind("branches.mispredicts", "branches mispredicted", s.mispredicts);
-    r.derivedGauge(prefix + ".commit.ipc",
-                   "committed instructions per cycle",
-                   [this] { return stats_.ipc(); });
-
-    const BpredStats &b = bpred_.stats();
-    bind("bpred.lookups", "branch predictor lookups", b.lookups);
-    bind("bpred.cond_branches", "conditional branches predicted",
-         b.condBranches);
-    bind("bpred.cond_mispredicts", "conditional mispredicts",
-         b.condMispredicts);
-    bind("bpred.btb_misses", "taken control with unknown target",
-         b.btbMisses);
-    bind("bpred.ras_mispredicts", "return address mispredicts",
-         b.rasMispredicts);
-
-    auto bindCache = [&](const char *name, const CacheStats &c) {
-        bind((std::string(name) + ".accesses").c_str(),
-             "cache accesses", c.accesses);
-        bind((std::string(name) + ".misses").c_str(), "cache misses",
-             c.misses);
-        bind((std::string(name) + ".writebacks").c_str(),
-             "cache writebacks", c.writebacks);
-    };
-    bindCache("icache", mem_.il1().stats());
-    bindCache("dcache", mem_.dl1().stats());
-    bindCache("l2", mem_.l2().stats());
-}
-
 } // namespace vguard::cpu

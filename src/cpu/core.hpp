@@ -31,7 +31,10 @@
 #include "cpu/config.hpp"
 #include "cpu/func_units.hpp"
 #include "isa/executor.hpp"
-#include "obs/metrics.hpp"
+
+namespace vguard::obs {
+class Registry;  // bound in obs/stat_bindings.cpp (obs sits above cpu)
+}
 
 namespace vguard::cpu {
 

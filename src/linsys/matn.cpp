@@ -279,6 +279,7 @@ DiscreteStateSpaceN::next(std::vector<double> &x,
     x.swap(scratch_);
 }
 
+// vlint: hot
 void
 DiscreteStateSpaceN::stepBlock2(std::vector<double> &x, double u0,
                                 const double *u1, size_t n,
@@ -287,6 +288,7 @@ DiscreteStateSpaceN::stepBlock2(std::vector<double> &x, double u0,
     VGUARD_CHECK(inputs_ == 2);
     const unsigned ns = ad_.size();
     VGUARD_CHECK(x.size() == ns);
+    // vlint: allow(alloc-hot) sized once per block, before the cycle loop
     scratch_.resize(ns);
     for (size_t k = 0; k < n; ++k) {
         const double u1k = u1[k];

@@ -135,6 +135,7 @@ EventLog::push(EmergencyEvent ev)
         ++dropped_;
         return;
     }
+    // vlint: allow(alloc-hot) append bounded by emergency episodes, not cycles
     events_.push_back(std::move(ev));
 }
 

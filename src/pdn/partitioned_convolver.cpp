@@ -115,6 +115,7 @@ PartitionedConvolver::frameBoundary()
     j_ = 0;
 }
 
+// vlint: hot
 double
 PartitionedConvolver::step(double amps)
 {

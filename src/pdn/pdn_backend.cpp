@@ -2,29 +2,11 @@
 
 #include <cmath>
 
-#include "obs/tracing.hpp"
 #include "pdn/pdn_sim.hpp"
 #include "util/logging.hpp"
 #include "util/simd.hpp"
 
 namespace vguard::pdn {
-
-void
-PdnBackend::stepShared(const double *amps, size_t n, double *volts)
-{
-    obs::TraceSpan span("pdn.backend.step_shared", obs::TraceClass::Wall);
-    span.arg("cycles", uint64_t{n}).arg("lanes", uint64_t{lanes()});
-    doStepShared(amps, n, volts);
-}
-
-void
-PdnBackend::stepPerLane(const double *amps, size_t n, double *volts)
-{
-    obs::TraceSpan span("pdn.backend.step_per_lane",
-                        obs::TraceClass::Wall);
-    span.arg("cycles", uint64_t{n}).arg("lanes", uint64_t{lanes()});
-    doStepPerLane(amps, n, volts);
-}
 
 namespace {
 
@@ -202,6 +184,7 @@ class BatchedPdnBackend final : public PdnBackend
     void reset() override { x_ = xTrim_; }
 
   protected:
+    // vlint: hot
     void doStepShared(const double *amps, size_t n,
                       double *volts) override
     {
@@ -229,6 +212,7 @@ class BatchedPdnBackend final : public PdnBackend
     }
 
   protected:
+    // vlint: hot
     void doStepPerLane(const double *amps, size_t n,
                        double *volts) override
     {
@@ -244,6 +228,7 @@ class BatchedPdnBackend final : public PdnBackend
             const size_t base = stride_ - simd::kPackWidth;
             const size_t live = k_ - base;
             if (tailBlk_.size() < n * simd::kPackWidth)
+                // vlint: allow(alloc-hot) grow-once scratch, first block only
                 tailBlk_.resize(n * simd::kPackWidth);
             for (size_t cyc = 0; cyc < n; ++cyc) {
                 double *dst = tailBlk_.data() + cyc * simd::kPackWidth;
@@ -310,6 +295,7 @@ class BatchedPdnBackend final : public PdnBackend
      * fast path); NS_HINT = 0 falls back to the runtime dimension.
      */
     template <unsigned NS_HINT>
+    // vlint: hot
     void sharedKernel(const double *amps, size_t n, double *volts)
     {
         using simd::DoublePack;
@@ -380,6 +366,7 @@ class BatchedPdnBackend final : public PdnBackend
      * exact values the old full-block repack staged.
      */
     template <unsigned NS_HINT>
+    // vlint: hot
     void perLaneKernel(const double *amps, size_t n, double *volts)
     {
         using simd::DoublePack;
@@ -448,6 +435,7 @@ class BatchedPdnBackend final : public PdnBackend
 
     /** One cycle with per-lane currents from ampsPad_ into voltsPad_. */
     template <unsigned NS_HINT>
+    // vlint: hot
     void cycleKernel()
     {
         using simd::DoublePack;

@@ -73,12 +73,17 @@ class PdnBackend
      * volts[k * lanes() + lane]. Callable repeatedly to stream a long
      * trace through in blocks; lane state carries across calls.
      *
-     * Non-virtual wrapper: emits one Wall-class trace span per block
-     * (a block is thousands of cycles, so the span cost vanishes; the
-     * per-cycle stepCycle stays untraced — the solver makes millions
-     * of those calls), then delegates to doStepShared.
+     * Non-virtual entry point delegating to doStepShared. The
+     * per-block trace spans (pdn.backend.step_shared) are emitted by
+     * the core-layer call sites, not here — pdn sits below obs in the
+     * layering (vlint layer-dag), so this library must not include
+     * the tracer. The per-cycle stepCycle stays untraced either way;
+     * the solver makes millions of those calls.
      */
-    void stepShared(const double *amps, size_t n, double *volts);
+    void stepShared(const double *amps, size_t n, double *volts)
+    {
+        doStepShared(amps, n, volts);
+    }
 
     /**
      * Advance one cycle with per-lane currents (the closed-loop solver
@@ -96,10 +101,13 @@ class PdnBackend
      * are cycle-major: amps[k * lanes() + lane] is lane `lane`'s draw
      * on cycle k. Like stepShared, callable repeatedly in blocks with
      * lane state carrying across calls; bit-identical to n successive
-     * stepCycle calls over the same currents. Traced wrapper like
-     * stepShared.
+     * stepCycle calls over the same currents. Traced at the core
+     * call sites like stepShared (pdn.backend.step_per_lane).
      */
-    void stepPerLane(const double *amps, size_t n, double *volts);
+    void stepPerLane(const double *amps, size_t n, double *volts)
+    {
+        doStepPerLane(amps, n, volts);
+    }
 
   protected:
     /** Engine implementations of the block-stepping entry points. */

@@ -33,21 +33,7 @@ PdnSim::step(double amps)
     return v;
 }
 
-void
-PdnSim::registerStats(obs::Registry &r,
-                      const std::string &prefix) const
-{
-    r.derivedCounter(prefix + ".steps", "PDN cycles stepped",
-                     [this] { return steps_; });
-    r.derivedGauge(prefix + ".vdd_setpoint",
-                   "regulator set point [V]",
-                   [this] { return vdd_; });
-    r.derivedGauge(prefix + ".v_nominal", "nominal die voltage [V]",
-                   [this] { return vNominal(); });
-    r.derivedGauge(prefix + ".i_trim", "regulator trim current [A]",
-                   [this] { return iTrim_; });
-}
-
+// vlint: hot
 void
 PdnSim::stepMany(const double *amps, size_t n, double *volts)
 {

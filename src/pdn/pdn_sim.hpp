@@ -17,8 +17,11 @@
 #include <string>
 #include <vector>
 
-#include "obs/metrics.hpp"
 #include "pdn/package_model.hpp"
+
+namespace vguard::obs {
+class Registry;  // bound in obs/stat_bindings.cpp (obs sits above pdn)
+}
 
 namespace vguard::pdn {
 

@@ -189,35 +189,13 @@ WattchModel::power(const ActivityVector &av)
     return total;
 }
 
+// vlint: hot
 void
 WattchModel::currentBlock(const cpu::ActivityVector *avs, size_t n,
                           double *amps)
 {
     for (size_t k = 0; k < n; ++k)
         amps[k] = power(avs[k]) / pcfg_.vdd;
-}
-
-void
-WattchModel::registerStats(obs::Registry &r, const std::string &prefix,
-                           double dtSeconds) const
-{
-    for (size_t u = 0; u < kNumUnits; ++u) {
-        r.derivedGauge(
-            prefix + "." + unitName(static_cast<Unit>(u)) + ".energy_j",
-            std::string("dynamic energy of the ") +
-                unitName(static_cast<Unit>(u)) + " [J]",
-            [this, u, dtSeconds] { return wattCycles_[u] * dtSeconds; },
-            obs::MergeRule::Sum);
-    }
-    r.derivedGauge(
-        prefix + ".total.energy_j", "total dynamic energy [J]",
-        [this, dtSeconds] {
-            double sum = 0.0;
-            for (double wc : wattCycles_)
-                sum += wc;
-            return sum * dtSeconds;
-        },
-        obs::MergeRule::Sum);
 }
 
 double

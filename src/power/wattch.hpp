@@ -31,7 +31,10 @@
 
 #include "cpu/activity.hpp"
 #include "cpu/config.hpp"
-#include "obs/metrics.hpp"
+
+namespace vguard::obs {
+class Registry;  // bound in obs/stat_bindings.cpp (obs sits above power)
+}
 
 namespace vguard::power {
 

@@ -1,11 +1,13 @@
 /**
  * @file
- * Sweep-service implementation: wire codecs for campaigns and results,
- * the Unix-socket client used by CampaignEngine::run(--server), and
- * the SweepServer accept loop (see sweepd.hpp for the protocol).
+ * Sweep-service daemon: the SweepServer accept loop (see sweepd.hpp
+ * for the protocol). The wire codec and the client side live in
+ * core/sweep_client.cpp so that CampaignEngine::run can dispatch to a
+ * daemon without core depending on svc (vlint `layer-dag`).
  *
- * This TU and trace_store.cpp are the only places in the tree allowed
- * to make raw fd/socket syscalls (vlint `raw-io` rule).
+ * This TU, trace_store.cpp and core/sweep_client.cpp are the only
+ * places in the tree allowed to make raw fd/socket syscalls (vlint
+ * `raw-io` rule).
  */
 
 #include "svc/sweepd.hpp"
@@ -19,696 +21,24 @@
 #include <sys/un.h>
 #include <unistd.h>
 
-#include "core/trace_store.hpp"
+#include "core/sweep_client.hpp"
 #include "obs/tracing.hpp"
 #include "util/logging.hpp"
 
 namespace vguard::svc {
 
-namespace {
-
-// ---------------------------------------------------------------------
-// Frame plumbing
-// ---------------------------------------------------------------------
-
-enum FrameType : uint32_t {
-    kCampaignRequest = 1,
-    kRunResult = 2,
-    kSummary = 3,
-    kError = 4,
-    kDone = 5,
-};
-
-/** Refuse absurd frame lengths before allocating (corrupt stream). */
-constexpr uint64_t kMaxFrameBytes = uint64_t{1} << 31;
-
-/** write(2) everything, riding out EINTR and short writes. */
-bool
-writeAllFd(int fd, const void *data, size_t size)
-{
-    const char *p = static_cast<const char *>(data);
-    while (size > 0) {
-        const ssize_t n = ::write(fd, p, size);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        p += n;
-        size -= static_cast<size_t>(n);
-    }
-    return true;
-}
-
-/** read(2) exactly @p size bytes; false on error or early EOF. */
-bool
-readAllFd(int fd, void *data, size_t size)
-{
-    char *p = static_cast<char *>(data);
-    while (size > 0) {
-        const ssize_t n = ::read(fd, p, size);
-        if (n < 0) {
-            if (errno == EINTR)
-                continue;
-            return false;
-        }
-        if (n == 0)
-            return false;
-        p += n;
-        size -= static_cast<size_t>(n);
-    }
-    return true;
-}
-
-bool
-sendFrame(int fd, uint32_t type, const std::string &body)
-{
-    char hdr[12];
-    const uint64_t len = body.size();
-    std::memcpy(hdr, &type, 4);
-    std::memcpy(hdr + 4, &len, 8);
-    return writeAllFd(fd, hdr, sizeof(hdr)) &&
-           writeAllFd(fd, body.data(), body.size());
-}
-
-/**
- * Read one frame. Returns false on transport error; a clean EOF
- * before any header byte additionally sets @p cleanEof.
- */
-bool
-recvFrame(int fd, uint32_t &type, std::string &body, bool *cleanEof)
-{
-    if (cleanEof)
-        *cleanEof = false;
-    char hdr[12];
-    {
-        // Distinguish "peer closed between frames" from a torn header.
-        ssize_t n;
-        do {
-            n = ::read(fd, hdr, sizeof(hdr));
-        } while (n < 0 && errno == EINTR);
-        if (n == 0) {
-            if (cleanEof)
-                *cleanEof = true;
-            return false;
-        }
-        if (n < 0)
-            return false;
-        if (static_cast<size_t>(n) < sizeof(hdr) &&
-            !readAllFd(fd, hdr + n, sizeof(hdr) - n))
-            return false;
-    }
-    uint64_t len = 0;
-    std::memcpy(&type, hdr, 4);
-    std::memcpy(&len, hdr + 4, 8);
-    if (len > kMaxFrameBytes)
-        return false;
-    body.resize(len);
-    return len == 0 || readAllFd(fd, body.data(), len);
-}
-
-// ---------------------------------------------------------------------
-// Body codecs (same append/read idiom as the trace-store blob)
-// ---------------------------------------------------------------------
-
-void
-putU8(std::string &out, uint8_t v)
-{
-    out.push_back(static_cast<char>(v));
-}
-
-void
-putU16(std::string &out, uint16_t v)
-{
-    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
-void
-putU32(std::string &out, uint32_t v)
-{
-    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
-void
-putU64(std::string &out, uint64_t v)
-{
-    out.append(reinterpret_cast<const char *>(&v), sizeof(v));
-}
-
-void
-putI64(std::string &out, int64_t v)
-{
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    putU64(out, bits);
-}
-
-void
-putF64(std::string &out, double v)
-{
-    uint64_t bits = 0;
-    std::memcpy(&bits, &v, sizeof(bits));
-    putU64(out, bits);
-}
-
-void
-putStr(std::string &out, const std::string &s)
-{
-    putU64(out, s.size());
-    out.append(s);
-}
-
-/**
- * Bounds-checked sequential reader with a sticky ok flag: callers
- * chain reads and test ok() once; every accessor returns zero values
- * after the first failure.
- */
-class BodyReader
-{
-  public:
-    BodyReader(const char *data, size_t size) : p_(data), left_(size) {}
-
-    bool ok() const { return ok_; }
-    bool atEnd() const { return ok_ && left_ == 0; }
-
-    uint8_t
-    u8()
-    {
-        uint8_t v = 0;
-        raw(&v, 1);
-        return v;
-    }
-
-    uint16_t
-    u16()
-    {
-        uint16_t v = 0;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    uint32_t
-    u32()
-    {
-        uint32_t v = 0;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    uint64_t
-    u64()
-    {
-        uint64_t v = 0;
-        raw(&v, sizeof(v));
-        return v;
-    }
-
-    int64_t
-    i64()
-    {
-        const uint64_t bits = u64();
-        int64_t v = 0;
-        std::memcpy(&v, &bits, sizeof(v));
-        return v;
-    }
-
-    double
-    f64()
-    {
-        const uint64_t bits = u64();
-        double v = 0.0;
-        std::memcpy(&v, &bits, sizeof(v));
-        return v;
-    }
-
-    std::string
-    str()
-    {
-        const uint64_t n = u64();
-        if (!ok_ || n > left_) {
-            ok_ = false;
-            return {};
-        }
-        std::string s(p_, n);
-        p_ += n;
-        left_ -= n;
-        return s;
-    }
-
-  private:
-    void
-    raw(void *out, size_t n)
-    {
-        if (!ok_ || n > left_) {
-            ok_ = false;
-            std::memset(out, 0, n);
-            return;
-        }
-        std::memcpy(out, p_, n);
-        p_ += n;
-        left_ -= n;
-    }
-
-    const char *p_;
-    size_t left_;
-    bool ok_ = true;
-};
-
-// ---------------------------------------------------------------------
-// RunSpec / Program / VoltageSimResult codecs
-// ---------------------------------------------------------------------
-
-void
-encodeSpec(std::string &out, const core::RunSpec &spec)
-{
-    putF64(out, spec.impedanceScale);
-    putU32(out, spec.delayCycles);
-    putF64(out, spec.sensorError);
-    putU8(out, static_cast<uint8_t>(spec.actuator));
-    putU8(out, spec.controllerEnabled ? 1 : 0);
-    putU8(out, spec.useConvolution ? 1 : 0);
-    putU64(out, spec.maxCycles);
-    putU64(out, spec.maxInsts);
-    putU64(out, spec.noiseSeed);
-    putU8(out, spec.profiling ? 1 : 0);
-}
-
-bool
-decodeSpec(BodyReader &r, core::RunSpec &spec)
-{
-    spec.impedanceScale = r.f64();
-    spec.delayCycles = r.u32();
-    spec.sensorError = r.f64();
-    const uint8_t act = r.u8();
-    if (act > static_cast<uint8_t>(core::ActuatorKind::FuDl1Il1))
-        return false;
-    spec.actuator = static_cast<core::ActuatorKind>(act);
-    spec.controllerEnabled = r.u8() != 0;
-    spec.useConvolution = r.u8() != 0;
-    spec.maxCycles = r.u64();
-    spec.maxInsts = r.u64();
-    spec.noiseSeed = r.u64();
-    spec.profiling = r.u8() != 0;
-    return r.ok();
-}
-
-void
-encodeProgram(std::string &out, const isa::Program &program)
-{
-    // Branch targets are pre-resolved indices, so the label map is
-    // not needed to execute and is deliberately not shipped.
-    putU64(out, program.size());
-    for (uint32_t i = 0; i < program.size(); ++i) {
-        const isa::StaticInst &si = program.at(i);
-        putU16(out, static_cast<uint16_t>(si.op));
-        putU8(out, si.rd);
-        putU8(out, si.rs1);
-        putU8(out, si.rs2);
-        putI64(out, si.imm);
-        putI64(out, si.target);
-    }
-}
-
-bool
-decodeProgram(BodyReader &r, isa::Program &program)
-{
-    const uint64_t count = r.u64();
-    if (!r.ok() || count > (uint64_t{1} << 24))
-        return false;
-    std::vector<isa::StaticInst> insts;
-    insts.reserve(count);
-    for (uint64_t i = 0; i < count; ++i) {
-        isa::StaticInst si;
-        const uint16_t op = r.u16();
-        if (op >= static_cast<uint16_t>(isa::Opcode::NumOpcodes))
-            return false;
-        si.op = static_cast<isa::Opcode>(op);
-        si.rd = r.u8();
-        si.rs1 = r.u8();
-        si.rs2 = r.u8();
-        si.imm = r.i64();
-        const int64_t target = r.i64();
-        if (target < -1 || target >= static_cast<int64_t>(count))
-            return false;
-        si.target = static_cast<int32_t>(target);
-        insts.push_back(si);
-    }
-    program = isa::Program(std::move(insts), {});
-    return r.ok();
-}
-
-void
-encodeSim(std::string &out, const core::VoltageSimResult &sim)
-{
-    putU64(out, sim.cycles);
-    putU64(out, sim.committed);
-    putF64(out, sim.ipc);
-    putF64(out, sim.energyJ);
-    putF64(out, sim.avgPowerW);
-    putF64(out, sim.minV);
-    putF64(out, sim.maxV);
-    putU64(out, sim.lowEmergencyCycles);
-    putU64(out, sim.highEmergencyCycles);
-    putU64(out, sim.gatedCycles);
-    putU64(out, sim.phantomCycles);
-    putU64(out, sim.lowTriggers);
-    putU64(out, sim.highTriggers);
-
-    const Histogram &h = sim.voltageHist;
-    putF64(out, h.lo());
-    putF64(out, h.hi());
-    putU64(out, h.bins());
-    for (size_t i = 0; i < h.bins(); ++i)
-        putU64(out, h.count(i));
-    putU64(out, h.underflow());
-    putU64(out, h.overflow());
-    putU64(out, h.total());
-
-    putStr(out, core::encodeSnapshot(sim.stats));
-
-    const obs::EventLog &log = sim.events;
-    putU64(out, log.capacity());
-    putU64(out, log.events().size());
-    for (const obs::EmergencyEvent &ev : log.events()) {
-        putU64(out, ev.entryCycle);
-        putU64(out, ev.durationCycles);
-        putU8(out, ev.low ? 1 : 0);
-        putF64(out, ev.vExtreme);
-        putF64(out, ev.vBound);
-        putI64(out, ev.sensorLevel);
-        putF64(out, ev.sensorReading);
-        putU8(out, ev.gating ? 1 : 0);
-        putU8(out, ev.phantom ? 1 : 0);
-        for (uint64_t f : ev.fingerprint)
-            putU64(out, f);
-        putU64(out, ev.fingerprintCycles);
-    }
-    putU64(out, log.dropped());
-
-    for (uint64_t ns : sim.profile.ns)
-        putU64(out, ns);
-    for (uint64_t s : sim.profile.samples)
-        putU64(out, s);
-    putU64(out, sim.profile.cyclesTotal);
-    putU64(out, sim.profile.cyclesSampled);
-}
-
-bool
-decodeSim(BodyReader &r, core::VoltageSimResult &sim)
-{
-    sim.cycles = r.u64();
-    sim.committed = r.u64();
-    sim.ipc = r.f64();
-    sim.energyJ = r.f64();
-    sim.avgPowerW = r.f64();
-    sim.minV = r.f64();
-    sim.maxV = r.f64();
-    sim.lowEmergencyCycles = r.u64();
-    sim.highEmergencyCycles = r.u64();
-    sim.gatedCycles = r.u64();
-    sim.phantomCycles = r.u64();
-    sim.lowTriggers = r.u64();
-    sim.highTriggers = r.u64();
-
-    const double lo = r.f64();
-    const double hi = r.f64();
-    const uint64_t bins = r.u64();
-    if (!r.ok() || bins == 0 || bins > (uint64_t{1} << 20) || !(hi > lo))
-        return false;
-    std::vector<uint64_t> counts(bins);
-    for (uint64_t i = 0; i < bins; ++i)
-        counts[i] = r.u64();
-    const uint64_t underflow = r.u64();
-    const uint64_t overflow = r.u64();
-    const uint64_t total = r.u64();
-    uint64_t sum = underflow + overflow;
-    for (uint64_t c : counts)
-        sum += c;
-    if (!r.ok() || sum != total)
-        return false;
-    sim.voltageHist = Histogram::restore(lo, hi, std::move(counts),
-                                         underflow, overflow, total);
-
-    const std::string statsBlob = r.str();
-    if (!r.ok() ||
-        !core::decodeSnapshot(statsBlob.data(), statsBlob.size(),
-                              sim.stats))
-        return false;
-
-    const uint64_t capacity = r.u64();
-    const uint64_t nEvents = r.u64();
-    if (!r.ok() || capacity > (uint64_t{1} << 24) || nEvents > capacity)
-        return false;
-    std::vector<obs::EmergencyEvent> events;
-    events.reserve(nEvents);
-    for (uint64_t i = 0; i < nEvents; ++i) {
-        obs::EmergencyEvent ev;
-        ev.entryCycle = r.u64();
-        ev.durationCycles = r.u64();
-        ev.low = r.u8() != 0;
-        ev.vExtreme = r.f64();
-        ev.vBound = r.f64();
-        const int64_t level = r.i64();
-        if (level < -1 || level > 255)
-            return false;
-        ev.sensorLevel = static_cast<int>(level);
-        ev.sensorReading = r.f64();
-        ev.gating = r.u8() != 0;
-        ev.phantom = r.u8() != 0;
-        for (uint64_t &f : ev.fingerprint)
-            f = r.u64();
-        ev.fingerprintCycles = r.u64();
-        events.push_back(ev);
-    }
-    const uint64_t dropped = r.u64();
-    if (!r.ok() || (dropped > 0 && nEvents < capacity))
-        return false;
-    sim.events = obs::EventLog::restored(capacity, std::move(events),
-                                         dropped);
-
-    for (uint64_t &ns : sim.profile.ns)
-        ns = r.u64();
-    for (uint64_t &s : sim.profile.samples)
-        s = r.u64();
-    sim.profile.cyclesTotal = r.u64();
-    sim.profile.cyclesSampled = r.u64();
-    return r.ok();
-}
-
-// ---------------------------------------------------------------------
-// Campaign request / run-result codecs
-// ---------------------------------------------------------------------
-
-struct CampaignRequest
-{
-    core::CampaignEngine::Options options;  ///< serverSocket unused
-    std::vector<core::CampaignJob> jobs;
-};
-
-std::string
-encodeRequest(const core::CampaignEngine::Options &opts,
-              const std::vector<core::CampaignJob> &jobs)
-{
-    std::string out;
-    putU32(out, kSweepProtocolVersion);
-    putU64(out, opts.campaignSeed);
-    putU8(out, opts.deriveSeeds ? 1 : 0);
-    putU8(out, opts.profiling ? 1 : 0);
-    putU32(out, opts.threads);
-    putU64(out, jobs.size());
-    for (const core::CampaignJob &job : jobs) {
-        putStr(out, job.name);
-        encodeProgram(out, job.program);
-        encodeSpec(out, job.spec);
-        putU8(out, job.compare ? 1 : 0);
-    }
-    return out;
-}
-
-bool
-decodeRequest(const std::string &body, CampaignRequest &req,
-              std::string &why)
-{
-    BodyReader r(body.data(), body.size());
-    const uint32_t version = r.u32();
-    if (version != kSweepProtocolVersion) {
-        why = "unsupported protocol version";
-        return false;
-    }
-    req.options.campaignSeed = r.u64();
-    req.options.deriveSeeds = r.u8() != 0;
-    req.options.profiling = r.u8() != 0;
-    req.options.threads = r.u32();
-    const uint64_t jobCount = r.u64();
-    if (!r.ok() || jobCount > (uint64_t{1} << 20)) {
-        why = "malformed campaign header";
-        return false;
-    }
-    req.jobs.reserve(jobCount);
-    for (uint64_t i = 0; i < jobCount; ++i) {
-        core::CampaignJob job;
-        job.name = r.str();
-        if (!decodeProgram(r, job.program)) {
-            why = "malformed program in job " + std::to_string(i);
-            return false;
-        }
-        if (!decodeSpec(r, job.spec)) {
-            why = "malformed spec in job " + std::to_string(i);
-            return false;
-        }
-        job.compare = r.u8() != 0;
-        req.jobs.push_back(std::move(job));
-    }
-    if (!r.atEnd()) {
-        why = "trailing bytes in campaign request";
-        return false;
-    }
-    return true;
-}
-
-std::string
-encodeRunResult(const core::RunResult &rr)
-{
-    std::string out;
-    putU64(out, rr.index);
-    putStr(out, rr.name);
-    encodeSpec(out, rr.spec);
-    encodeSim(out, rr.sim);
-    putU8(out, rr.comparison ? 1 : 0);
-    if (rr.comparison) {
-        encodeSim(out, rr.comparison->baseline);
-        putF64(out, rr.comparison->perfLossPct);
-        putF64(out, rr.comparison->energyIncreasePct);
-    }
-    return out;
-}
-
-bool
-decodeRunResult(const std::string &body, core::RunResult &rr)
-{
-    BodyReader r(body.data(), body.size());
-    rr.index = r.u64();
-    rr.name = r.str();
-    if (!decodeSpec(r, rr.spec) || !decodeSim(r, rr.sim))
-        return false;
-    if (r.u8() != 0) {
-        core::Comparison cmp;
-        if (!decodeSim(r, cmp.baseline))
-            return false;
-        // The headline sim of a comparison job IS the controlled run.
-        cmp.controlled = rr.sim;
-        cmp.perfLossPct = r.f64();
-        cmp.energyIncreasePct = r.f64();
-        rr.comparison = std::move(cmp);
-    }
-    return r.atEnd();
-}
-
-} // namespace
-
-// ---------------------------------------------------------------------
-// Client
-// ---------------------------------------------------------------------
-
-core::CampaignResult
-runCampaignOnServer(const std::string &socketPath,
-                    const core::CampaignEngine::Options &opts,
-                    std::vector<core::CampaignJob> jobs)
-{
-    const obs::TraceSpan span("svc.client.campaign");
-
-    sockaddr_un addr{};
-    if (socketPath.size() >= sizeof(addr.sun_path))
-        fatal("sweepd: socket path too long: %s", socketPath.c_str());
-    addr.sun_family = AF_UNIX;
-    std::memcpy(addr.sun_path, socketPath.c_str(), socketPath.size());
-
-    const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
-    if (fd < 0)
-        fatal("sweepd: socket(): %s", std::strerror(errno));
-    if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
-                  sizeof(addr)) != 0) {
-        const int err = errno;
-        ::close(fd);
-        fatal("sweepd: connect(%s): %s", socketPath.c_str(),
-              std::strerror(err));
-    }
-
-    if (!sendFrame(fd, kCampaignRequest, encodeRequest(opts, jobs))) {
-        ::close(fd);
-        fatal("sweepd: failed to send campaign request");
-    }
-
-    core::CampaignResult result;
-    result.campaignSeed = opts.campaignSeed;
-    result.runs.reserve(jobs.size());
-    bool done = false;
-    bool sawSummary = false;
-    while (!done) {
-        uint32_t type = 0;
-        std::string body;
-        if (!recvFrame(fd, type, body, nullptr)) {
-            ::close(fd);
-            fatal("sweepd: connection lost mid-campaign "
-                  "(%zu/%zu results received)",
-                  result.runs.size(), jobs.size());
-        }
-        switch (type) {
-          case kRunResult: {
-            core::RunResult rr;
-            if (!decodeRunResult(body, rr)) {
-                ::close(fd);
-                fatal("sweepd: malformed run result");
-            }
-            if (rr.index != result.runs.size()) {
-                ::close(fd);
-                fatal("sweepd: out-of-order result index %zu "
-                      "(expected %zu)",
-                      rr.index, result.runs.size());
-            }
-            result.runs.push_back(std::move(rr));
-            break;
-          }
-          case kSummary: {
-            BodyReader r(body.data(), body.size());
-            result.wallSeconds = r.f64();
-            result.threadsUsed = r.u32();
-            if (!r.atEnd()) {
-                ::close(fd);
-                fatal("sweepd: malformed summary");
-            }
-            sawSummary = true;
-            break;
-          }
-          case kError:
-            ::close(fd);
-            fatal("sweepd: server error: %.*s",
-                  static_cast<int>(body.size()), body.data());
-          case kDone:
-            done = true;
-            break;
-          default:
-            ::close(fd);
-            fatal("sweepd: unknown frame type %u", type);
-        }
-    }
-    ::close(fd);
-
-    if (result.runs.size() != jobs.size())
-        fatal("sweepd: short campaign: %zu results for %zu jobs",
-              result.runs.size(), jobs.size());
-    if (!sawSummary)
-        fatal("sweepd: missing summary frame");
-
-    // Same submission-order arithmetic as a local run — byte-identical
-    // deterministic artifacts at any worker count on either side.
-    core::aggregateCampaignRuns(result);
-    return result;
-}
-
-// ---------------------------------------------------------------------
-// Server
-// ---------------------------------------------------------------------
+using core::sweepwire::CampaignRequest;
+using core::sweepwire::decodeRequest;
+using core::sweepwire::encodeRunResult;
+using core::sweepwire::kCampaignRequest;
+using core::sweepwire::kDone;
+using core::sweepwire::kError;
+using core::sweepwire::kRunResult;
+using core::sweepwire::kSummary;
+using core::sweepwire::putF64;
+using core::sweepwire::putU32;
+using core::sweepwire::recvFrame;
+using core::sweepwire::sendFrame;
 
 SweepServer::SweepServer(std::string socketPath,
                          core::CampaignEngine::Options baseOpts)

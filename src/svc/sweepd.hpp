@@ -38,7 +38,11 @@
  * campaign artifacts (JSONL, stats, events) are byte-identical to a
  * local run at any worker count on either side.
  *
- * All raw socket syscalls in the tree are confined to this TU and
+ * The wire codec and the client (core::runCampaignOnServer) live in
+ * core/sweep_client.hpp: CampaignEngine::run dispatches to a daemon
+ * when Options::serverSocket is set, and the layering DAG forbids core
+ * from including svc (vlint `layer-dag`). All raw socket syscalls in
+ * the tree are confined to sweepd.cpp, core/sweep_client.cpp and
  * trace_store.cpp (vlint `raw-io` rule).
  */
 
@@ -54,9 +58,6 @@
 #include "core/campaign.hpp"
 
 namespace vguard::svc {
-
-/** Wire protocol version spoken by this build. */
-constexpr uint32_t kSweepProtocolVersion = 1;
 
 /**
  * The sweep daemon: owns a Unix listening socket and serves campaign
@@ -113,23 +114,6 @@ class SweepServer
     bool running_ = false;
     std::atomic<uint64_t> campaignsServed_{0};
 };
-
-/**
- * Run a campaign on the daemon listening at @p socketPath: connect,
- * ship @p opts + @p jobs, rebuild every RunResult from the reply
- * stream, and re-aggregate locally in submission order. The returned
- * CampaignResult is byte-identical (jsonl/statsJson "campaign" and
- * "stats" zones/eventsJsonl) to CampaignEngine(opts).run(jobs) run
- * locally. Fatal on connection failure or a malformed/short reply
- * stream; a daemon-side kError frame is also fatal with its reason.
- * Called by CampaignEngine::run when opts.serverSocket is set — do not
- * call with opts.serverSocket cleared expectations; the daemon always
- * executes locally.
- */
-core::CampaignResult
-runCampaignOnServer(const std::string &socketPath,
-                    const core::CampaignEngine::Options &opts,
-                    std::vector<core::CampaignJob> jobs);
 
 } // namespace vguard::svc
 

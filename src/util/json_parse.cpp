@@ -1,6 +1,7 @@
 #include "util/json_parse.hpp"
 
 #include <cctype>
+#include <cerrno>
 #include <cstdlib>
 
 #include "util/logging.hpp"
@@ -277,6 +278,44 @@ parseJsonOrDie(std::string_view text, const char *what)
     if (!parseJson(text, v, err))
         fatal("%s: %s", what, err.c_str());
     return v;
+}
+
+namespace {
+
+/** Exact int64 read of an integer spelling; false on '.', exponent,
+    overflow, or trailing junk. */
+bool
+rawAsInt64(const std::string &raw, long long &out)
+{
+    if (raw.empty() || raw.find_first_of(".eE") != std::string::npos)
+        return false;
+    errno = 0;
+    char *end = nullptr;
+    const long long v = std::strtoll(raw.c_str(), &end, 10);
+    if (errno != 0 || end != raw.c_str() + raw.size())
+        return false;
+    out = v;
+    return true;
+}
+
+} // namespace
+
+bool
+numbersEquivalent(const JsonValue &a, const JsonValue &b)
+{
+    if (!a.isNumber() || !b.isNumber())
+        return false;
+    if (a.raw == b.raw)
+        return true;
+    // Both spelled as integers: compare exactly. Two distinct int64s
+    // above 2^53 can collapse onto the same double, so the parsed-
+    // value comparison below would wrongly call them equal.
+    long long ia = 0, ib = 0;
+    const bool aInt = rawAsInt64(a.raw, ia);
+    const bool bInt = rawAsInt64(b.raw, ib);
+    if (aInt && bInt)
+        return ia == ib;
+    return a.number == b.number;
 }
 
 } // namespace vguard

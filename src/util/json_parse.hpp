@@ -78,6 +78,16 @@ bool parseJson(std::string_view text, JsonValue &out,
 /** parseJson that fatals on error, tagged with @p what. */
 JsonValue parseJsonOrDie(std::string_view text, const char *what);
 
+/**
+ * Whether two parsed numbers denote the same value, regardless of how
+ * the source spelled them: `0.5` equals `5e-1`, `8` equals `8.0`.
+ * Integer spellings (no '.', no exponent) compare as int64 so values
+ * beyond 2^53 are not conflated by the double round-trip; everything
+ * else compares the parsed doubles. False when either side is not a
+ * number.
+ */
+bool numbersEquivalent(const JsonValue &a, const JsonValue &b);
+
 } // namespace vguard
 
 #endif // VGUARD_UTIL_JSON_PARSE_HPP

@@ -19,6 +19,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include "util/json_parse.hpp"
 #include "util/jsonl.hpp"
 #include "util/logging.hpp"
 #include "util/rng.hpp"
@@ -349,6 +350,44 @@ TEST(Table, FmtPrecision)
 {
     EXPECT_EQ(Table::fmt(1.5), "1.5");
     EXPECT_EQ(Table::fmt(0.123456789, 3), "0.123");
+}
+
+TEST(NumbersEquivalent, FormattingVariantsCompareEqual)
+{
+    // A baseline regenerated with different float formatting must
+    // still match: 0.5 and 5e-1 are the same number. The old raw-byte
+    // comparison in vguard-report's equals_baseline failed this.
+    auto num = [](const char *text) {
+        return vguard::parseJsonOrDie(text, "test");
+    };
+    EXPECT_TRUE(vguard::numbersEquivalent(num("0.5"), num("5e-1")));
+    EXPECT_TRUE(vguard::numbersEquivalent(num("8"), num("8.0")));
+    EXPECT_TRUE(vguard::numbersEquivalent(num("1000"), num("1e3")));
+    EXPECT_TRUE(vguard::numbersEquivalent(num("-0.25"), num("-2.5e-1")));
+    EXPECT_FALSE(vguard::numbersEquivalent(num("0.5"), num("0.5000001")));
+}
+
+TEST(NumbersEquivalent, IntegerSpellingsStayExactPastDoubleRange)
+{
+    // 2^53 and 2^53 + 1 collapse onto the same double; the integer
+    // fast path must still tell them apart.
+    auto num = [](const char *text) {
+        return vguard::parseJsonOrDie(text, "test");
+    };
+    EXPECT_FALSE(vguard::numbersEquivalent(num("9007199254740993"),
+                                           num("9007199254740992")));
+    EXPECT_TRUE(vguard::numbersEquivalent(num("9007199254740993"),
+                                          num("9007199254740993")));
+}
+
+TEST(NumbersEquivalent, NonNumbersNeverEqual)
+{
+    auto val = [](const char *text) {
+        return vguard::parseJsonOrDie(text, "test");
+    };
+    EXPECT_FALSE(vguard::numbersEquivalent(val("\"5\""), val("5")));
+    EXPECT_FALSE(vguard::numbersEquivalent(val("true"), val("1")));
+    EXPECT_FALSE(vguard::numbersEquivalent(val("null"), val("null")));
 }
 
 TEST(JsonWriter, NonFiniteDoublesEmitStringSentinels)

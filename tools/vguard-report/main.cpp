@@ -528,7 +528,8 @@ cmdReport(int argc, char **argv)
  *   min / max         numeric floor / ceiling on the current value
  *   equals            exact expected value (bool, number, or string)
  *   equals_baseline   current must equal the committed baseline's
- *                     value (numbers by exact source bytes)
+ *                     value (numbers by value: 0.5 == 5e-1; integer
+ *                     spellings compare exactly past 2^53)
  *   rel_tol           |cur - base| <= rel_tol * max(|base|, 1e-300)
  *
  * `foreach` lifts the check over every element of a named array
@@ -565,8 +566,11 @@ scalarsEqual(const JsonValue &a, const JsonValue &b)
 {
     if (a.kind != b.kind)
         return false;
+    // By value, not source bytes: a baseline regenerated with a
+    // different float formatting (0.5 vs 5e-1) is still the same
+    // number. numbersEquivalent keeps >2^53 integers exact.
     if (a.isNumber())
-        return a.raw == b.raw;
+        return numbersEquivalent(a, b);
     if (a.isBool())
         return a.boolean == b.boolean;
     if (a.isString())

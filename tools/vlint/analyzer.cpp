@@ -2,10 +2,15 @@
 
 #include <algorithm>
 #include <cctype>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <tuple>
 
+#include "facts.hpp"
+#include "graph.hpp"
 #include "lexer.hpp"
 
 namespace vlint {
@@ -313,22 +318,24 @@ ruleSimdIntrinsic(FileCtx &ctx)
 void
 ruleRawIo(FileCtx &ctx)
 {
-    // The persistent trace store and the sweep daemon are the only
+    // The persistent trace store and the sweep protocol are the only
     // sanctioned raw-syscall zones: trace_store.cpp owns every mmap/
     // fsync/rename dance (crash-safety and the zero-copy view depend
-    // on that exact sequence), and sweepd.cpp owns the Unix-socket
-    // protocol. Raw descriptors anywhere else bypass both the
+    // on that exact sequence), sweep_client.cpp owns the Unix-socket
+    // wire codec + campaign client, and sweepd.cpp owns the daemon's
+    // listening socket. Raw descriptors anywhere else bypass both the
     // store's corruption handling and the frame protocol's
     // versioning. `bind`/`open`/`close`/`read`/`write`/`unlink` are
     // deliberately not listed — they collide with ordinary C++
     // identifiers (stats-registry bind lambdas, fstream::open,
     // std::filesystem) — but no socket server or mapping exists
     // without `socket()`/`accept()`/`mmap()`, so the list below still
-    // confines any new raw-io code to the two TUs.
+    // confines any new raw-io code to the three TUs.
     if (!startsWith(ctx.relpath, "src/") &&
         !startsWith(ctx.relpath, "tools/"))
         return;
     if (ctx.relpath == "src/core/trace_store.cpp" ||
+        ctx.relpath == "src/core/sweep_client.cpp" ||
         ctx.relpath == "src/svc/sweepd.cpp")
         return;
     static const std::set<std::string> banned = {
@@ -357,9 +364,10 @@ ruleRawIo(FileCtx &ctx)
         }
         ctx.add("raw-io", toks[i].line,
                 "raw I/O syscall '" + toks[i].text +
-                    "()' outside src/core/trace_store.cpp and "
-                    "src/svc/sweepd.cpp; go through the trace store "
-                    "or the sweepd protocol layer");
+                    "()' outside src/core/trace_store.cpp, "
+                    "src/core/sweep_client.cpp and src/svc/sweepd.cpp; "
+                    "go through the trace store or the sweep protocol "
+                    "layer");
     }
 }
 
@@ -542,8 +550,12 @@ ruleThreadStatic(FileCtx &ctx)
                         "declaration region; the campaign engine "
                         "calls this code from worker threads");
         }
-        i = j;
-        headStart = j + 1;
+        // Resume AT the terminator, not past it: if the declaration
+        // ended in '{' (a brace initializer), the main loop must see
+        // that brace and push/pop it, or the scope stack drifts and
+        // every later brace in the file is mispaired — which is
+        // exactly how statics after a lambda argument were masked.
+        i = j == 0 ? 0 : j - 1;
     }
 }
 
@@ -693,6 +705,20 @@ parseSuppressions(FileCtx &ctx)
         const size_t tag = c.text.find("vlint:");
         if (tag == std::string::npos)
             continue;
+        // `vlint: hot` is the alloc-hot seed annotation, consumed by
+        // the cross-TU fact extractor (facts.cpp) — not a suppression
+        // and not malformed.
+        {
+            size_t k = tag + 6;
+            while (k < c.text.size() &&
+                   std::isspace(static_cast<unsigned char>(c.text[k])))
+                ++k;
+            if (c.text.compare(k, 3, "hot") == 0 &&
+                (k + 3 == c.text.size() ||
+                 !std::isalnum(
+                     static_cast<unsigned char>(c.text[k + 3]))))
+                continue;
+        }
         const size_t open = c.text.find("allow(", tag);
         const size_t close = open == std::string::npos
                                  ? std::string::npos
@@ -756,7 +782,8 @@ ruleCatalog()
              "raw SIMD intrinsics outside src/util/simd.hpp"},
             {"raw-io",
              "raw mmap/socket/descriptor syscalls outside "
-             "src/core/trace_store.cpp and src/svc/sweepd.cpp"},
+             "src/core/{trace_store,sweep_client}.cpp and "
+             "src/svc/sweepd.cpp"},
             {"fp-pow-int",
              "std::pow with an integer-literal exponent in src/"},
             {"thread-static",
@@ -771,6 +798,18 @@ ruleCatalog()
             {"hyg-using-ns", "'using namespace' in a header"},
             {"hyg-suppression",
              "vlint suppression comments need a rule and a reason"},
+            {"det-reach",
+             "wall-clock/rand/unordered-iteration reachable from "
+             "deterministic roots (full call chain in diagnostic)"},
+            {"alloc-hot",
+             "allocation reachable within --hot-depth of a "
+             "'// vlint: hot' function"},
+            {"lock-order",
+             "inconsistent mutex/once_flag acquisition-order cycle "
+             "across TUs"},
+            {"layer-dag",
+             "include back-edge against util < linsys < pdn/power/cpu "
+             "< obs < core < svc < tools layering"},
         };
     return cat;
 }
@@ -878,9 +917,33 @@ renderBaseline(const std::vector<Finding> &findings)
 
 // ------------------------------------------------------------ driver
 
+namespace {
+
+/** Whitespace-normalize one source line (baseline-key stability). */
+std::string
+normalizeSnippet(const std::string &raw)
+{
+    std::string snippet;
+    bool space = false;
+    for (char c : raw) {
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            space = !snippet.empty();
+            continue;
+        }
+        if (space)
+            snippet += ' ';
+        space = false;
+        snippet += c;
+    }
+    return snippet;
+}
+
+} // namespace
+
 Report
 lintTree(const Options &opt)
 {
+    const auto wallStart = std::chrono::steady_clock::now();
     Report report;
     const fs::path root(opt.root);
 
@@ -902,19 +965,80 @@ lintTree(const Options &opt)
     const std::set<std::string> treeFiles(files.begin(), files.end());
 
     std::vector<Finding> all;
+    std::vector<FileFacts> facts;
+    std::map<std::string, std::vector<std::string>> fileLines;
+    facts.reserve(files.size());
     for (const std::string &rel : files) {
         std::ifstream in(root / rel, std::ios::binary);
         if (!in)
             continue;
         std::ostringstream buf;
         buf << in.rdbuf();
+        const std::string content = buf.str();
         ++report.filesScanned;
-        auto found = lintSource(rel, buf.str(), treeFiles,
+        auto found = lintSource(rel, content, treeFiles,
                                 &report.suppressed);
         all.insert(all.end(),
                    std::make_move_iterator(found.begin()),
                    std::make_move_iterator(found.end()));
+
+        // Pass 1 of the cross-TU analysis rides the same walk.
+        facts.push_back(extractFacts(rel, lex(content)));
+        auto &lines = fileLines[rel];
+        std::string cur;
+        for (char c : content) {
+            if (c == '\n') {
+                lines.push_back(cur);
+                cur.clear();
+            } else {
+                cur += c;
+            }
+        }
+        if (!cur.empty())
+            lines.push_back(cur);
     }
+
+    // Pass 2: link all facts, run the graph rules, then route the
+    // findings through the same suppression machinery the single-file
+    // rules use (the allow-maps were collected during extraction).
+    const CallGraph graph = linkFacts(facts, treeFiles);
+    std::map<std::string, const FileFacts *> factsByFile;
+    for (const FileFacts &ff : facts)
+        factsByFile.emplace(ff.file, &ff);
+    std::vector<Finding> graphFindings =
+        runGraphRules(graph, opt.hotDepth);
+    std::sort(graphFindings.begin(), graphFindings.end(),
+              [](const Finding &a, const Finding &b) {
+                  return std::tie(a.file, a.line, a.rule, a.message) <
+                         std::tie(b.file, b.line, b.rule, b.message);
+              });
+    for (Finding &f : graphFindings) {
+        const auto lit = fileLines.find(f.file);
+        if (lit != fileLines.end() && f.line >= 1 &&
+            f.line <= static_cast<int>(lit->second.size()))
+            f.snippet = normalizeSnippet(lit->second[f.line - 1]);
+        const auto fit = factsByFile.find(f.file);
+        if (fit != factsByFile.end()) {
+            const auto ait = fit->second->allows.find(f.line);
+            if (ait != fit->second->allows.end() &&
+                (ait->second.count(f.rule) ||
+                 ait->second.count("*"))) {
+                report.suppressed.push_back(std::move(f));
+                continue;
+            }
+        }
+        all.push_back(std::move(f));
+    }
+
+    report.stats.functions = graph.nDefined;
+    report.stats.externals = graph.nExternal;
+    report.stats.callEdges = graph.nCallEdges;
+    report.stats.includeEdges = graph.includes.size();
+    report.stats.lockEdges = graph.lockEdges.size();
+    report.stats.roots = graph.nRoots;
+    report.stats.hot = graph.nHot;
+    if (opt.captureGraphJson)
+        report.graphJson = graphJson(graph);
 
     const fs::path basePath =
         opt.baselinePath.empty()
@@ -937,6 +1061,10 @@ lintTree(const Options &opt)
         }
     }
     report.staleBaseline.assign(baseline.begin(), baseline.end());
+    report.stats.wallSeconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      wallStart)
+            .count();
     return report;
 }
 
@@ -1004,6 +1132,26 @@ reportJson(const Report &report)
            std::to_string(report.suppressed.size()) +
            ", \"stale_baseline\": " +
            std::to_string(report.staleBaseline.size()) + "},\n";
+    {
+        char ws[32];
+        std::snprintf(ws, sizeof(ws), "%.3f",
+                      report.stats.wallSeconds);
+        out += "  \"stats\": {\"wall_seconds\": ";
+        out += ws;
+        out += ", \"functions\": " +
+               std::to_string(report.stats.functions) +
+               ", \"externals\": " +
+               std::to_string(report.stats.externals) +
+               ", \"call_edges\": " +
+               std::to_string(report.stats.callEdges) +
+               ", \"include_edges\": " +
+               std::to_string(report.stats.includeEdges) +
+               ", \"lock_edges\": " +
+               std::to_string(report.stats.lockEdges) +
+               ", \"roots\": " + std::to_string(report.stats.roots) +
+               ", \"hot\": " + std::to_string(report.stats.hot) +
+               "},\n";
+    }
     appendFindings(out, "findings", report.findings);
     out += ",\n";
     appendFindings(out, "baselined", report.baselined);

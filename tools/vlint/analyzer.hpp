@@ -36,6 +36,19 @@
  *   hyg-suppression   malformed vlint suppression comment (missing
  *                     rule list or justification)
  *
+ * Cross-TU graph rules (facts.hpp extracts per-file facts, graph.hpp
+ * links them and runs these; DESIGN.md §8 "Cross-TU analysis"):
+ *
+ *   det-reach         wall-clock/rand/unordered-iteration hazards
+ *                     transitively reachable from deterministic roots
+ *                     (full call chain in the diagnostic)
+ *   alloc-hot         allocations within --hot-depth calls of a
+ *                     `// vlint: hot` annotated function
+ *   lock-order        inconsistent mutex/once_flag acquisition-order
+ *                     cycles across TUs
+ *   layer-dag         include back-edges against util < linsys <
+ *                     pdn/power/cpu < obs < core < svc < tools
+ *
  * Suppressions: `// vlint: allow(rule[,rule...]) reason` on the
  * offending line, or alone on the line directly above it. The reason
  * is mandatory. A checked-in baseline file grandfathers pre-existing
@@ -96,6 +109,8 @@ struct Options
     std::vector<std::string> subdirs = {"src", "bench", "examples",
                                         "tests", "tools"};
     std::string baselinePath;  ///< empty: <root>/tools/vlint/baseline.txt
+    int hotDepth = 3;          ///< alloc-hot reachability budget
+    bool captureGraphJson = false;  ///< fill Report::graphJson
 };
 
 struct Report
@@ -105,6 +120,22 @@ struct Report
     std::vector<Finding> suppressed;   ///< silenced by inline comment
     std::vector<std::string> staleBaseline;  ///< unmatched entries
     int filesScanned = 0;
+
+    /** Analyzer self-diagnostics, printed under "stats" in --json
+        (CI asserts wall_seconds stays under its budget). */
+    struct Stats
+    {
+        double wallSeconds = 0.0;
+        size_t functions = 0;     ///< defined nodes in the call graph
+        size_t externals = 0;     ///< called but not defined in-tree
+        size_t callEdges = 0;
+        size_t includeEdges = 0;
+        size_t lockEdges = 0;
+        size_t roots = 0;         ///< deterministic det-reach roots
+        size_t hot = 0;           ///< `// vlint: hot` functions
+    };
+    Stats stats;
+    std::string graphJson;  ///< vlint-graph.json (captureGraphJson)
 };
 
 /** Lint the tree under @p opt.root; deterministic file order. */

@@ -3,11 +3,13 @@
  * vlint CLI: lint the tree, print findings, emit JSON, manage the
  * baseline. Exit codes: 0 clean, 1 non-baselined findings, 2 usage.
  *
- *   vlint --root <repo> [--json out.json] [--baseline file]
+ *   vlint --root <repo> [--json out.json] [--graph-json graph.json]
+ *         [--baseline file] [--hot-depth N]
  *         [--write-baseline] [--list-rules] [--quiet]
  */
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <string>
@@ -21,7 +23,8 @@ usage(const char *argv0)
 {
     std::fprintf(
         stderr,
-        "usage: %s [--root DIR] [--json FILE] [--baseline FILE]\n"
+        "usage: %s [--root DIR] [--json FILE] [--graph-json FILE]\n"
+        "          [--baseline FILE] [--hot-depth N]\n"
         "          [--write-baseline] [--list-rules] [--quiet]\n",
         argv0);
     return 2;
@@ -34,7 +37,7 @@ main(int argc, char **argv)
 {
     vlint::Options opt;
     opt.root = ".";
-    std::string jsonPath;
+    std::string jsonPath, graphJsonPath;
     bool writeBaseline = false, quiet = false;
 
     for (int i = 1; i < argc; ++i) {
@@ -52,11 +55,26 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             jsonPath = v;
+        } else if (arg == "--graph-json") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            graphJsonPath = v;
+            opt.captureGraphJson = true;
         } else if (arg == "--baseline") {
             const char *v = value();
             if (!v)
                 return usage(argv[0]);
             opt.baselinePath = v;
+        } else if (arg == "--hot-depth") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            char *end = nullptr;
+            const long depth = std::strtol(v, &end, 10);
+            if (end == v || *end != '\0' || depth < 0 || depth > 64)
+                return usage(argv[0]);
+            opt.hotDepth = static_cast<int>(depth);
         } else if (arg == "--write-baseline") {
             writeBaseline = true;
         } else if (arg == "--quiet") {
@@ -97,6 +115,16 @@ main(int argc, char **argv)
             return 2;
         }
         out << vlint::reportJson(report);
+    }
+
+    if (!graphJsonPath.empty()) {
+        std::ofstream out(graphJsonPath, std::ios::binary);
+        if (!out) {
+            std::fprintf(stderr, "vlint: cannot write %s\n",
+                         graphJsonPath.c_str());
+            return 2;
+        }
+        out << report.graphJson;
     }
 
     if (!quiet) {
